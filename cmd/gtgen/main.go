@@ -1,0 +1,87 @@
+// Command gtgen freezes instance suites to disk and evaluates instances
+// loaded from files, so experiment inputs are reproducible artifacts
+// rather than in-process randomness.
+//
+// Usage:
+//
+//	gtgen -out suite/                # write the standard suite
+//	gtgen -out suite/ -seed 99       # with a different seed
+//	gtgen -eval suite/               # load a suite and evaluate everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gametree"
+	"gametree/internal/dataset"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "", "directory to write the standard suite to")
+		eval = flag.String("eval", "", "directory to load a suite from and evaluate")
+		seed = flag.Int64("seed", 1989, "suite seed")
+	)
+	flag.Parse()
+	switch {
+	case *out != "":
+		m := dataset.StandardSuite(*seed)
+		if err := dataset.Write(*out, m); err != nil {
+			fmt.Fprintln(os.Stderr, "gtgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d instances to %s\n", len(m.Instances), *out)
+	case *eval != "":
+		if err := evaluate(*eval); err != nil {
+			fmt.Fprintln(os.Stderr, "gtgen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "gtgen: one of -out or -eval is required")
+		os.Exit(1)
+	}
+}
+
+func evaluate(dir string) error {
+	m, trees, err := dataset.Load(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("suite: %s (%d instances)\n", m.Title, len(m.Instances))
+	names := make([]string, 0, len(trees))
+	for n := range trees {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := trees[name]
+		fmt.Printf("\n%-24s %s, value %d\n", name, t, t.Evaluate())
+		if t.Kind == gametree.NOR {
+			seq, err := gametree.SequentialSolve(t, gametree.Options{})
+			if err != nil {
+				return err
+			}
+			par, err := gametree.ParallelSolve(t, 1, gametree.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s SOLVE: seq %d steps, width-1 %d steps (%.2fx, %d procs)\n",
+				"", seq.Steps, par.Steps, float64(seq.Steps)/float64(par.Steps), par.Processors)
+			continue
+		}
+		seq, err := gametree.SequentialAlphaBeta(t, gametree.Options{})
+		if err != nil {
+			return err
+		}
+		par, err := gametree.ParallelAlphaBeta(t, 1, gametree.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s alpha-beta: seq %d steps, width-1 %d steps (%.2fx, %d procs)\n",
+			"", seq.Steps, par.Steps, float64(seq.Steps)/float64(par.Steps), par.Processors)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command gtplay plays tic-tac-toe or Connect-4 against the parallel
+// game-tree engine, the practical face of the paper's algorithms.
+//
+// Usage:
+//
+//	gtplay -game ttt
+//	gtplay -game connect4 -depth 9 -workers 8
+//	gtplay -game connect4 -selfplay       # engine vs engine
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gametree"
+	"gametree/internal/games"
+)
+
+func main() {
+	var (
+		game     = flag.String("game", "ttt", "ttt, connect4, nim, kayles or domineering")
+		depth    = flag.Int("depth", 9, "search depth")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		selfplay = flag.Bool("selfplay", false, "engine plays both sides")
+	)
+	flag.Parse()
+	var err error
+	switch *game {
+	case "ttt":
+		err = playTTT(*depth, *workers, *selfplay, os.Stdin, os.Stdout)
+	case "connect4":
+		err = playConnect4(*depth, *workers, *selfplay, os.Stdin, os.Stdout)
+	case "nim":
+		err = selfplayGame(games.NewNim(3, 5, 7), *workers, os.Stdout)
+	case "kayles":
+		err = selfplayGame(games.NewKayles(9), *workers, os.Stdout)
+	case "domineering":
+		err = selfplayGame(gametree.NewDomineering(4, 4), *workers, os.Stdout)
+	default:
+		err = fmt.Errorf("unknown game %q", *game)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtplay:", err)
+		os.Exit(1)
+	}
+}
+
+// selfplayGame runs an engine-vs-engine game to completion on any
+// Position with a String method, printing each move. The search depth is
+// unbounded enough to play these small games perfectly.
+func selfplayGame(start gametree.Position, workers int, outF *os.File) error {
+	out := bufio.NewWriter(outF)
+	defer out.Flush()
+	pos := start
+	for moveNo := 1; ; moveNo++ {
+		moves := pos.Moves()
+		if len(moves) == 0 {
+			fmt.Fprintf(out, "\nplayer to move has no moves after %d plies - they lose\n", moveNo-1)
+			return nil
+		}
+		r, err := gametree.SearchParallel(context.Background(), pos, 40, workers)
+		if err != nil {
+			return err
+		}
+		pos = moves[r.Best]
+		fmt.Fprintf(out, "move %2d -> %v (value %d, %d nodes)\n", moveNo, pos, r.Value, r.Nodes)
+		if moveNo > 200 {
+			return fmt.Errorf("game did not terminate")
+		}
+	}
+}
+
+func engineMove(pos gametree.Position, depth, workers int, out *bufio.Writer) (int, error) {
+	start := time.Now()
+	r, err := gametree.SearchParallel(context.Background(), pos, depth, workers)
+	if err != nil {
+		return -1, err
+	}
+	fmt.Fprintf(out, "engine: move %d (value %d, %d nodes, %s)\n",
+		r.Best, r.Value, r.Nodes, time.Since(start).Round(time.Millisecond))
+	return r.Best, nil
+}
+
+func playTTT(depth, workers int, selfplay bool, in *os.File, outF *os.File) error {
+	out := bufio.NewWriter(outF)
+	defer out.Flush()
+	sc := bufio.NewScanner(in)
+	pos := games.TTT{}
+	human := int8(1) // X
+	if selfplay {
+		human = 0
+	}
+	for {
+		fmt.Fprintf(out, "\n%s\n", pos)
+		moves := pos.Moves()
+		if len(moves) == 0 {
+			return announceTTT(pos, out)
+		}
+		var idx int
+		if pos.ToMove == human || (human == 1 && pos.ToMove == 0) {
+			out.Flush()
+			fmt.Fprint(out, "your move (cell 0-8): ")
+			out.Flush()
+			if !sc.Scan() {
+				return nil
+			}
+			cell, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+			if err != nil || cell < 0 || cell > 8 || pos.Cells[cell] != 0 {
+				fmt.Fprintln(out, "illegal move")
+				continue
+			}
+			idx = -1
+			for i, m := range moves {
+				if pos.MoveCell(m.(games.TTT)) == cell {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				fmt.Fprintln(out, "illegal move")
+				continue
+			}
+		} else {
+			var err error
+			idx, err = engineMove(pos, depth, workers, out)
+			if err != nil {
+				return err
+			}
+		}
+		pos = moves[idx].(games.TTT)
+	}
+}
+
+func announceTTT(pos games.TTT, out *bufio.Writer) error {
+	switch pos.Winner() {
+	case 1:
+		fmt.Fprintln(out, "X wins")
+	case 2:
+		fmt.Fprintln(out, "O wins")
+	default:
+		fmt.Fprintln(out, "draw")
+	}
+	return nil
+}
+
+func playConnect4(depth, workers int, selfplay bool, in *os.File, outF *os.File) error {
+	out := bufio.NewWriter(outF)
+	defer out.Flush()
+	sc := bufio.NewScanner(in)
+	pos := games.StandardConnect4()
+	for moveNo := 0; ; moveNo++ {
+		fmt.Fprintf(out, "\n%s\n", pos)
+		moves := pos.Moves()
+		if len(moves) == 0 || pos.Full() {
+			if len(moves) == 0 && moveNo > 0 {
+				fmt.Fprintf(out, "player %d wins\n", 3-pos.Mover)
+			} else {
+				fmt.Fprintln(out, "draw")
+			}
+			return nil
+		}
+		humanTurn := !selfplay && pos.Mover == 1
+		var idx int
+		if humanTurn {
+			fmt.Fprintf(out, "your move (column 0-%d): ", pos.W-1)
+			out.Flush()
+			if !sc.Scan() {
+				return nil
+			}
+			col, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+			if err != nil {
+				fmt.Fprintln(out, "illegal move")
+				moveNo--
+				continue
+			}
+			idx = -1
+			for i, m := range moves {
+				if int(m.(*games.Connect4).LastCol) == col {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				fmt.Fprintln(out, "illegal move")
+				moveNo--
+				continue
+			}
+		} else {
+			var err error
+			idx, err = engineMove(pos, depth, workers, out)
+			if err != nil {
+				return err
+			}
+		}
+		pos = moves[idx].(*games.Connect4)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a uniform game tree, evaluate it with the paper's
+// sequential and parallel algorithms, and observe Theorem 1's linear
+// speedup with n+1 processors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gametree"
+)
+
+func main() {
+	// A stationary-bias i.i.d. instance of B(2,14) — the hard regime of
+	// the Section 6 model, where pruning is real and the contrast between
+	// the naive Team parallelization (sqrt(p)) and the paper's Parallel
+	// SOLVE (linear in n+1) is visible. (On the no-pruning worst-case
+	// family Team SOLVE is trivially fully efficient; see EXPERIMENTS E1.)
+	const d, n = 2, 14
+	t := gametree.IIDNor(d, n, gametree.StationaryBias(d), 1989)
+	fmt.Printf("instance: %s, exact value %d\n\n", t, t.Evaluate())
+
+	seq, err := gametree.SequentialSolve(t, gametree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sequential SOLVE:      %6d steps (one leaf per step)\n", seq.Steps)
+
+	// Team SOLVE: the obvious parallelization. Its worst-case guarantee
+	// is only Theta(sqrt(p)) — on maximal-pruning instances it saturates
+	// hard (see examples/speedup and experiment E1) — and buying more
+	// speedup costs processors at a declining efficiency. Parallel SOLVE
+	// below guarantees c(n+1) on EVERY instance with just n+1 processors.
+	for _, p := range []int{n + 1, (n + 1) * (n + 1)} {
+		team, err := gametree.TeamSolve(t, p, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := float64(seq.Steps) / float64(team.Steps)
+		fmt.Printf("Team SOLVE (%3d procs):     %5d steps, speedup %5.1fx, efficiency %.2f\n",
+			p, team.Steps, sp, sp/float64(p))
+	}
+
+	// Parallel SOLVE of width 1: the paper's algorithm, n+1 processors,
+	// linear speedup at constant efficiency.
+	par, err := gametree.ParallelSolve(t, 1, gametree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spPar := float64(seq.Steps) / float64(par.Steps)
+	fmt.Printf("Parallel SOLVE w=1 (%2d procs): %2d steps, speedup %5.1fx, efficiency %.2f\n",
+		par.Processors, par.Steps, spPar, spPar/float64(par.Processors))
+
+	fmt.Printf("\nTheorem 1: speedup >= c(n+1); measured c = %.2f\n",
+		float64(seq.Steps)/float64(par.Steps)/float64(n+1))
+
+	// The same story for MIN/MAX trees and alpha-beta (Theorem 3).
+	mt := gametree.IIDMinMax(2, 12, -1000, 1000, 7)
+	seqAB, err := gametree.SequentialAlphaBeta(mt, gametree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parAB, err := gametree.ParallelAlphaBeta(mt, 1, gametree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMIN/MAX %s (value %d):\n", mt, mt.Evaluate())
+	fmt.Printf("Sequential alpha-beta: %6d leaf evaluations\n", seqAB.Steps)
+	fmt.Printf("Parallel alpha-beta:   %6d steps, speedup %.1fx with %d processors\n",
+		parAB.Steps, float64(seqAB.Steps)/float64(parAB.Steps), parAB.Processors)
+}

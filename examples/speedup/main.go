@@ -1,0 +1,73 @@
+// Speedup example: reproduce the paper's headline curves in one run.
+// It sweeps the tree height n and prints, for each model, the measured
+// width-1 speedup next to the (n+1)-processor budget — the Theorem 1/3/4
+// shape: speedup growing linearly in n+1 — and contrasts Team SOLVE's
+// sqrt(p) law (Proposition 1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gametree"
+)
+
+func main() {
+	fmt.Println("Theorem 1 — Parallel SOLVE width 1 on worst-case B(2,n):")
+	fmt.Printf("%4s %10s %10s %10s %8s\n", "n", "S(T)", "P(T)", "speedup", "c")
+	for n := 6; n <= 16; n += 2 {
+		t := gametree.WorstCaseNOR(2, n, 1)
+		seq, err := gametree.SequentialSolve(t, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, err := gametree.ParallelSolve(t, 1, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := float64(seq.Steps) / float64(par.Steps)
+		fmt.Printf("%4d %10d %10d %10.2f %8.3f\n", n, seq.Steps, par.Steps, sp, sp/float64(n+1))
+	}
+
+	fmt.Println("\nTheorem 3 — Parallel alpha-beta width 1 on i.i.d. M(2,n):")
+	fmt.Printf("%4s %10s %10s %10s %8s\n", "n", "S~(T)", "P~(T)", "speedup", "c")
+	for n := 6; n <= 12; n += 2 {
+		t := gametree.IIDMinMax(2, n, -1_000_000, 1_000_000, int64(n))
+		seq, err := gametree.SequentialAlphaBeta(t, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, err := gametree.ParallelAlphaBeta(t, 1, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := float64(seq.Steps) / float64(par.Steps)
+		fmt.Printf("%4d %10d %10d %10.2f %8.3f\n", n, seq.Steps, par.Steps, sp, sp/float64(n+1))
+	}
+
+	fmt.Println("\nProposition 1 — Team SOLVE on best-case B(2,14) (sqrt(p) ceiling):")
+	fmt.Printf("%6s %10s %10s\n", "p", "speedup", "sqrt(p)")
+	t := gametree.BestCaseNOR(2, 14, 1)
+	seq, err := gametree.SequentialSolve(t, gametree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := 1; p <= 256; p *= 4 {
+		team, err := gametree.TeamSolve(t, p, gametree.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %10.2f %10.2f\n", p,
+			float64(seq.Steps)/float64(team.Steps), math.Sqrt(float64(p)))
+	}
+
+	fmt.Println("\nSection 7 — message-passing implementation (goroutine per level):")
+	tr := gametree.WorstCaseNOR(2, 12, 1)
+	m, err := gametree.EvaluateMessagePassing(tr, gametree.MsgPassOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("value %d with %d processors, %d expansions, %d messages\n",
+		m.Value, m.Processors, m.Expansions, m.Messages)
+}

@@ -1,0 +1,3 @@
+module gametree
+
+go 1.22

@@ -1,0 +1,201 @@
+// Package alphabeta provides reference sequential implementations of the
+// classical game-tree search algorithms on explicit trees: full minimax,
+// depth-first alpha-beta pruning (Knuth & Moore 1975, reference [5] of the
+// paper) and SCOUT (Pearl, reference [7]). They serve three purposes:
+//
+//  1. correctness oracles for the step-model simulators in internal/core,
+//  2. sequential baselines for the experiment harness, and
+//  3. the leaf-count cross-check that the paper's Sequential alpha-beta
+//     (the width-0 pruning process) visits exactly the classical set of
+//     leaves.
+package alphabeta
+
+import (
+	"math"
+
+	"gametree/internal/tree"
+)
+
+// Result reports the value computed and the number of leaves evaluated.
+type Result struct {
+	Value  int32
+	Leaves int64
+}
+
+// Minimax evaluates the tree with no pruning; every leaf is visited.
+func Minimax(t *tree.Tree) Result {
+	var leaves int64
+	var eval func(v tree.NodeID) int32
+	eval = func(v tree.NodeID) int32 {
+		nd := t.Node(v)
+		if nd.NumChildren == 0 {
+			leaves++
+			return nd.Value
+		}
+		best := eval(nd.FirstChild)
+		if t.IsMaxNode(v) {
+			for i := int32(1); i < nd.NumChildren; i++ {
+				if x := eval(nd.FirstChild + tree.NodeID(i)); x > best {
+					best = x
+				}
+			}
+		} else {
+			for i := int32(1); i < nd.NumChildren; i++ {
+				if x := eval(nd.FirstChild + tree.NodeID(i)); x < best {
+					best = x
+				}
+			}
+		}
+		return best
+	}
+	return Result{Value: eval(t.Root()), Leaves: leaves}
+}
+
+// AlphaBeta evaluates a MIN/MAX tree with fail-hard alpha-beta pruning and
+// returns the root value and the number of leaves evaluated. With the
+// cutoff condition value >= beta (resp. <= alpha) it evaluates exactly the
+// leaf set of the paper's Sequential alpha-beta pruning process.
+func AlphaBeta(t *tree.Tree) Result {
+	if t.Kind != tree.MinMax {
+		panic("alphabeta: AlphaBeta requires a MinMax tree")
+	}
+	var leaves int64
+	var search func(v tree.NodeID, alpha, beta int64) int64
+	search = func(v tree.NodeID, alpha, beta int64) int64 {
+		nd := t.Node(v)
+		if nd.NumChildren == 0 {
+			leaves++
+			return int64(nd.Value)
+		}
+		if t.IsMaxNode(v) {
+			best := int64(math.MinInt32)
+			for i := int32(0); i < nd.NumChildren; i++ {
+				x := search(nd.FirstChild+tree.NodeID(i), alpha, beta)
+				if x > best {
+					best = x
+				}
+				if best > alpha {
+					alpha = best
+				}
+				if alpha >= beta {
+					break
+				}
+			}
+			return best
+		}
+		best := int64(math.MaxInt32)
+		for i := int32(0); i < nd.NumChildren; i++ {
+			x := search(nd.FirstChild+tree.NodeID(i), alpha, beta)
+			if x < best {
+				best = x
+			}
+			if best < beta {
+				beta = best
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+		return best
+	}
+	v := search(t.Root(), math.MinInt32, math.MaxInt32)
+	return Result{Value: int32(v), Leaves: leaves}
+}
+
+// Scout evaluates a MIN/MAX tree with Pearl's SCOUT algorithm: the first
+// child is evaluated exactly; each subsequent child is first *tested*
+// against the current best with a boolean test procedure, and re-evaluated
+// only if the test fails to dismiss it.
+func Scout(t *tree.Tree) Result {
+	if t.Kind != tree.MinMax {
+		panic("alphabeta: Scout requires a MinMax tree")
+	}
+	var leaves int64
+
+	// test reports whether val(v) > bound (when gt) or val(v) < bound.
+	var test func(v tree.NodeID, bound int64, gt bool) bool
+	var eval func(v tree.NodeID) int64
+
+	test = func(v tree.NodeID, bound int64, gt bool) bool {
+		nd := t.Node(v)
+		if nd.NumChildren == 0 {
+			leaves++
+			if gt {
+				return int64(nd.Value) > bound
+			}
+			return int64(nd.Value) < bound
+		}
+		if t.IsMaxNode(v) {
+			// val(v) > bound iff some child > bound;
+			// val(v) < bound iff all children < bound.
+			for i := int32(0); i < nd.NumChildren; i++ {
+				if test(nd.FirstChild+tree.NodeID(i), bound, gt) {
+					if gt {
+						return true
+					}
+				} else if !gt {
+					return false
+				}
+			}
+			return !gt
+		}
+		for i := int32(0); i < nd.NumChildren; i++ {
+			if test(nd.FirstChild+tree.NodeID(i), bound, gt) {
+				if !gt {
+					return true
+				}
+			} else if gt {
+				return false
+			}
+		}
+		return gt
+	}
+
+	eval = func(v tree.NodeID) int64 {
+		nd := t.Node(v)
+		if nd.NumChildren == 0 {
+			leaves++
+			return int64(nd.Value)
+		}
+		best := eval(nd.FirstChild)
+		for i := int32(1); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			if t.IsMaxNode(v) {
+				if test(c, best, true) {
+					best = eval(c)
+				}
+			} else {
+				if test(c, best, false) {
+					best = eval(c)
+				}
+			}
+		}
+		return best
+	}
+	return Result{Value: int32(eval(t.Root())), Leaves: leaves}
+}
+
+// SolveLTR is the reference recursive "left-to-right" algorithm S-SOLVE of
+// Section 2 for NOR trees, counting evaluated leaves. It must agree
+// leaf-for-leaf with core.SequentialSolve.
+func SolveLTR(t *tree.Tree) Result {
+	if t.Kind != tree.NOR {
+		panic("alphabeta: SolveLTR requires a NOR tree")
+	}
+	var leaves int64
+	var solve func(v tree.NodeID) int32
+	solve = func(v tree.NodeID) int32 {
+		nd := t.Node(v)
+		if nd.NumChildren == 0 {
+			leaves++
+			return nd.Value
+		}
+		for i := int32(0); i < nd.NumChildren; i++ {
+			if solve(nd.FirstChild+tree.NodeID(i)) == 1 {
+				return 0
+			}
+		}
+		return 1
+	}
+	return Result{Value: solve(t.Root()), Leaves: leaves}
+}

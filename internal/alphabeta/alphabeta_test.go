@@ -1,0 +1,104 @@
+package alphabeta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gametree/internal/tree"
+)
+
+func TestMinimaxVisitsAllLeaves(t *testing.T) {
+	tr := tree.IIDMinMax(3, 4, -10, 10, 1)
+	r := Minimax(tr)
+	if r.Leaves != int64(tr.NumLeaves()) {
+		t.Errorf("minimax visited %d of %d leaves", r.Leaves, tr.NumLeaves())
+	}
+	if r.Value != tr.Evaluate() {
+		t.Errorf("minimax value %d, want %d", r.Value, tr.Evaluate())
+	}
+}
+
+func TestAlphaBetaAgreesWithMinimax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.IIDMinMax(2+rng.Intn(3), rng.Intn(5), -100, 100, rng.Int63())
+		ab := AlphaBeta(tr)
+		mm := Minimax(tr)
+		return ab.Value == mm.Value && ab.Leaves <= mm.Leaves
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoutAgreesWithMinimax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.IIDMinMax(2+rng.Intn(3), rng.Intn(5), -100, 100, rng.Int63())
+		return Scout(tr).Value == Minimax(tr).Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoutCompetitiveOnOrderedTrees(t *testing.T) {
+	// On best-ordered trees SCOUT's tests always succeed cheaply; it
+	// should evaluate no more leaves than plain minimax and typically no
+	// more than alpha-beta.
+	for n := 1; n <= 6; n++ {
+		tr := tree.BestOrderedMinMax(2, n, int64(n))
+		sc := Scout(tr)
+		ab := AlphaBeta(tr)
+		mm := Minimax(tr)
+		if sc.Leaves > mm.Leaves {
+			t.Errorf("n=%d: SCOUT %d > minimax %d", n, sc.Leaves, mm.Leaves)
+		}
+		if sc.Value != ab.Value {
+			t.Errorf("n=%d: SCOUT value %d != %d", n, sc.Value, ab.Value)
+		}
+	}
+}
+
+func TestSolveLTRAgainstEvaluate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.IIDNor(2+rng.Intn(3), rng.Intn(6), 0.5, rng.Int63())
+		r := SolveLTR(tr)
+		return r.Value == tr.Evaluate() && r.Leaves >= 1 && r.Leaves <= int64(tr.NumLeaves())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaBetaOnDegenerateTrees(t *testing.T) {
+	leaf := tree.FromNested(tree.MinMax, 7)
+	if r := AlphaBeta(leaf); r.Value != 7 || r.Leaves != 1 {
+		t.Errorf("leaf: %+v", r)
+	}
+	chain := tree.FromNested(tree.MinMax, []any{[]any{[]any{5}}})
+	if r := AlphaBeta(chain); r.Value != 5 || r.Leaves != 1 {
+		t.Errorf("chain: %+v", r)
+	}
+	if r := Scout(chain); r.Value != 5 {
+		t.Errorf("scout chain: %+v", r)
+	}
+}
+
+func TestKindPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	nor := tree.IIDNor(2, 2, 0.5, 1)
+	mm := tree.IIDMinMax(2, 2, 0, 9, 1)
+	mustPanic("AlphaBeta on NOR", func() { AlphaBeta(nor) })
+	mustPanic("Scout on NOR", func() { Scout(nor) })
+	mustPanic("SolveLTR on MinMax", func() { SolveLTR(mm) })
+}

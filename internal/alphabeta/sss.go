@@ -1,0 +1,151 @@
+package alphabeta
+
+import (
+	"container/heap"
+	"math"
+
+	"gametree/internal/tree"
+)
+
+// This file implements Stockman's SSS* (1979), the best-first game-tree
+// search the paper cites through reference [11] ("Parallel alpha-beta
+// versus parallel SSS*", Vornberger 1987). SSS* maintains a priority
+// queue (OPEN) of states (node, LIVE|SOLVED, merit) popped in order of
+// decreasing merit. A state's merit is an upper bound on what the root
+// can achieve through that node: children of a MAX node enter OPEN
+// together as competing alternatives, while children of a MIN node are
+// examined left to right, each brother inheriting the previous one's
+// solved merit as its cap — so the cap threads min() through MIN levels
+// while the pop discipline realizes max() at MAX levels. When a child of
+// a MAX node is popped SOLVED it was the best alternative anywhere in
+// OPEN, so it solves its parent and the siblings' pending work is purged.
+// SSS* dominates alpha-beta: on trees with distinct leaf values it never
+// evaluates a leaf that alpha-beta prunes.
+
+type sssStatus uint8
+
+const (
+	sssLive sssStatus = iota
+	sssSolved
+)
+
+type sssState struct {
+	node   tree.NodeID
+	status sssStatus
+	merit  int64
+	order  int32 // preorder index for left-first tie-breaking
+}
+
+type sssQueue []sssState
+
+func (q sssQueue) Len() int { return len(q) }
+func (q sssQueue) Less(i, j int) bool {
+	if q[i].merit != q[j].merit {
+		return q[i].merit > q[j].merit // max merit first
+	}
+	return q[i].order < q[j].order // ties: leftmost first
+}
+func (q sssQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *sssQueue) Push(x any)         { *q = append(*q, x.(sssState)) }
+func (q *sssQueue) Pop() any           { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+func (q *sssQueue) popState() sssState { return heap.Pop(q).(sssState) }
+
+// SSS evaluates a MIN/MAX tree with SSS* and returns the root value and
+// the number of leaves evaluated.
+func SSS(t *tree.Tree) Result {
+	if t.Kind != tree.MinMax {
+		panic("alphabeta: SSS requires a MinMax tree")
+	}
+	// Preorder indices give the left-first tie-breaking SSS*'s dominance
+	// proof assumes.
+	order := make([]int32, t.Len())
+	idx := int32(0)
+	var number func(v tree.NodeID)
+	number = func(v tree.NodeID) {
+		order[v] = idx
+		idx++
+		nd := t.Node(v)
+		for i := int32(0); i < nd.NumChildren; i++ {
+			number(nd.FirstChild + tree.NodeID(i))
+		}
+	}
+	number(t.Root())
+
+	var leaves int64
+	evaluated := make([]bool, t.Len())
+	purgedRoots := make([]bool, t.Len())
+	isPurged := func(v tree.NodeID) bool {
+		for x := v; x != tree.None; x = t.Node(x).Parent {
+			if purgedRoots[x] {
+				return true
+			}
+		}
+		return false
+	}
+
+	q := &sssQueue{}
+	heap.Push(q, sssState{node: t.Root(), status: sssLive, merit: math.MaxInt32, order: order[t.Root()]})
+	for q.Len() > 0 {
+		st := q.popState()
+		if isPurged(st.node) {
+			continue // lazily deleted by a case-5 purge
+		}
+		nd := t.Node(st.node)
+		if st.status == sssLive {
+			switch {
+			case nd.NumChildren == 0:
+				if !evaluated[st.node] {
+					evaluated[st.node] = true
+					leaves++
+				}
+				m := int64(nd.Value)
+				if st.merit < m {
+					m = st.merit
+				}
+				heap.Push(q, sssState{st.node, sssSolved, m, st.order})
+			case t.IsMaxNode(st.node):
+				// MAX: every child starts a competing alternative;
+				// the max-merit pop discipline explores the most
+				// promising one first.
+				for i := int32(0); i < nd.NumChildren; i++ {
+					c := nd.FirstChild + tree.NodeID(i)
+					heap.Push(q, sssState{c, sssLive, st.merit, order[c]})
+				}
+			default:
+				// MIN: children are examined left to right; the
+				// merit cap threads the running minimum through the
+				// brother chain.
+				c := nd.FirstChild
+				heap.Push(q, sssState{c, sssLive, st.merit, order[c]})
+			}
+			continue
+		}
+		// SOLVED
+		if st.node == t.Root() {
+			return Result{Value: int32(st.merit), Leaves: leaves}
+		}
+		p := nd.Parent
+		if t.IsMaxNode(p) {
+			// Parent is MAX: this child was the best alternative in
+			// OPEN, so its capped value solves the parent; the sibling
+			// alternatives below p are no longer needed. Mark each
+			// child as a purge root (p itself must stay poppable for
+			// the SOLVED state pushed next).
+			pn := t.Node(p)
+			for i := int32(0); i < pn.NumChildren; i++ {
+				purgedRoots[pn.FirstChild+tree.NodeID(i)] = true
+			}
+			heap.Push(q, sssState{p, sssSolved, st.merit, order[p]})
+			continue
+		}
+		// Parent is MIN: move to the next brother with the tightened cap,
+		// or solve the parent when this was the last one.
+		if nd.ChildIndex+1 < t.Node(p).NumChildren {
+			next := st.node + 1
+			heap.Push(q, sssState{next, sssLive, st.merit, order[next]})
+		} else {
+			heap.Push(q, sssState{p, sssSolved, st.merit, order[p]})
+		}
+	}
+	panic("alphabeta: SSS* queue exhausted without solving the root (bug)")
+}

@@ -1,0 +1,88 @@
+package alphabeta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gametree/internal/tree"
+)
+
+func TestSSSAgreesWithMinimax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.IIDMinMax(2+rng.Intn(3), rng.Intn(5), -100, 100, rng.Int63())
+		return SSS(tr).Value == Minimax(tr).Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stockman's dominance theorem: with distinct leaf values, SSS* evaluates
+// a subset of the leaves alpha-beta evaluates.
+func TestSSSDominatesAlphaBeta(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(4)
+		nl := 1
+		for i := 0; i < n; i++ {
+			nl *= d
+		}
+		perm := rng.Perm(nl)
+		tr := tree.Uniform(tree.MinMax, d, n, func(i int) int32 { return int32(perm[i]) })
+		sss := SSS(tr)
+		ab := AlphaBeta(tr)
+		if sss.Value != ab.Value {
+			t.Fatalf("trial %d: SSS %d != alpha-beta %d", trial, sss.Value, ab.Value)
+		}
+		if sss.Leaves > ab.Leaves {
+			t.Fatalf("trial %d (d=%d n=%d): SSS* evaluated %d leaves, alpha-beta %d (dominance violated)",
+				trial, d, n, sss.Leaves, ab.Leaves)
+		}
+	}
+}
+
+// On a best-ordered tree both SSS* and alpha-beta hit the Knuth-Moore
+// optimum; on worst-ordered trees SSS* is strictly better.
+func TestSSSOnOrderedTrees(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		best := tree.BestOrderedMinMax(2, n, int64(n))
+		sssBest := SSS(best)
+		abBest := AlphaBeta(best)
+		if sssBest.Leaves > abBest.Leaves {
+			t.Errorf("n=%d best-ordered: SSS %d > AB %d", n, sssBest.Leaves, abBest.Leaves)
+		}
+		worst := tree.WorstOrderedMinMax(2, n, int64(n))
+		sssWorst := SSS(worst)
+		abWorst := AlphaBeta(worst)
+		if sssWorst.Value != abWorst.Value {
+			t.Errorf("n=%d: value mismatch", n)
+		}
+		if n >= 4 && sssWorst.Leaves >= abWorst.Leaves {
+			t.Errorf("n=%d worst-ordered: SSS %d not better than AB %d",
+				n, sssWorst.Leaves, abWorst.Leaves)
+		}
+	}
+}
+
+func TestSSSDegenerate(t *testing.T) {
+	leaf := tree.FromNested(tree.MinMax, 9)
+	if r := SSS(leaf); r.Value != 9 || r.Leaves != 1 {
+		t.Errorf("leaf: %+v", r)
+	}
+	chain := tree.FromNested(tree.MinMax, []any{[]any{[]any{4}}})
+	if r := SSS(chain); r.Value != 4 {
+		t.Errorf("chain: %+v", r)
+	}
+}
+
+func TestSSSPanicsOnNOR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SSS(tree.IIDNor(2, 2, 0.5, 1))
+}

@@ -1,0 +1,206 @@
+// Package bounds implements the combinatorial quantities appearing in the
+// paper's analysis: the proof-tree lower bounds (Fact 1 and Fact 2), the
+// base-path code bounds of Propositions 3 and 6, the thresholds k1 and k2
+// of Lemmas 1 and 2, the Knuth–Moore optimal alpha-beta leaf count, and the
+// critical leaf bias of the i.i.d. model discussed in Section 6.
+//
+// All exact counts use math/big so bounds stay exact for any (d, n) the
+// simulators can reach.
+package bounds
+
+import (
+	"math"
+	"math/big"
+)
+
+// Binomial returns C(n, k) exactly; 0 when k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Pow returns b^e as a big integer (e >= 0).
+func Pow(b, e int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(int64(b)), big.NewInt(int64(e)), nil)
+}
+
+// Fact1 returns the Section 2 lower bound d^floor(n/2) on the total work of
+// ANY algorithm that evaluates an instance of B(d, n): a proof tree of a
+// uniform NOR tree has degree 1 and d on alternating levels.
+func Fact1(d, n int) *big.Int {
+	return Pow(d, n/2)
+}
+
+// Fact2 returns the Section 4 lower bound d^floor(n/2) + d^ceil(n/2) - 1 on
+// the total work of any algorithm evaluating an instance of M(d, n): the
+// two one-sided proof trees share exactly one leaf.
+func Fact2(d, n int) *big.Int {
+	s := new(big.Int).Add(Pow(d, n/2), Pow(d, (n+1)/2))
+	return s.Sub(s, big.NewInt(1))
+}
+
+// KnuthMoore returns the number of leaves examined by alpha-beta on a
+// perfectly ordered uniform d-ary tree of height n: the classical optimum
+// d^ceil(n/2) + d^floor(n/2) - 1 (Knuth & Moore 1975). Numerically equal to
+// Fact2; both names are provided because they bound different things.
+func KnuthMoore(d, n int) *big.Int { return Fact2(d, n) }
+
+// SigmaK returns sigma_k = C(n,k) * (d-1)^k, the number of vectors in
+// {0,...,d-1}^n with exactly k non-zero components — the Proposition 3
+// bound on the number of width-1 steps of parallel degree k+1 on a
+// skeleton:  t_{k+1}(H_T) <= sigma_k.
+func SigmaK(d, n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Mul(Binomial(n, k), Pow(d-1, k))
+}
+
+// Prop6Bound returns the node-expansion-model analogue of SigmaK
+// (Proposition 6): t*_{k+1}(H_T) <= (n-k+1) * C(n,k) * (d-1)^k.
+//
+// The paper prints the factor as (n-k), but its own derivation sums
+// C(m,k)(d-1)^k over m = k..n, which has n-k+1 terms (for k=0 the count of
+// admissible base-path lengths is n+1, not n); we use the corrected factor,
+// which is what the experiments confirm. The O(n) slack relative to
+// Proposition 3 is unchanged, so Theorem 4 is unaffected.
+func Prop6Bound(d, n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Mul(big.NewInt(int64(n-k+1)), SigmaK(d, n, k))
+}
+
+// K1 returns k1 = max{ k : C(n,k) d^k <= d^floor(n/2) } from Lemma 1.
+// Lemma 1 shows k1 >= alpha*n for an absolute constant alpha once n is
+// large enough.
+func K1(d, n int) int {
+	limit := Fact1(d, n)
+	k1 := 0
+	for k := 0; k <= n; k++ {
+		v := new(big.Int).Mul(Binomial(n, k), Pow(d, k))
+		if v.Cmp(limit) <= 0 {
+			k1 = k
+		} else {
+			break
+		}
+	}
+	return k1
+}
+
+// K2 returns k2 = max{ k : sum_{i=0}^{k} (i+1) C(n,i) (d-1)^i <= d^floor(n/2) }
+// from Lemma 2. Lemma 2 shows k2 >= alpha*n for large n.
+func K2(d, n int) int {
+	limit := Fact1(d, n)
+	sum := new(big.Int)
+	k2 := -1
+	for k := 0; k <= n; k++ {
+		term := new(big.Int).Mul(big.NewInt(int64(k+1)), SigmaK(d, n, k))
+		sum.Add(sum, term)
+		if sum.Cmp(limit) <= 0 {
+			k2 = k
+		} else {
+			break
+		}
+	}
+	return k2
+}
+
+// StepUpperBound returns the Proposition 4 upper bound on the number of
+// steps of Parallel SOLVE of width 1 on a skeleton with S evaluated leaves:
+// the maximum of sum t_i subject to t_{i+1} <= sigma_i and sum i*t_i <= S.
+// It is the quantity the proof of Theorem 1 bounds by S/(c(n+1)).
+func StepUpperBound(d, n int, s *big.Int) *big.Int {
+	steps := new(big.Int)
+	used := new(big.Int)
+	for k := 0; k <= n; k++ {
+		sig := SigmaK(d, n, k)
+		cost := new(big.Int).Mul(big.NewInt(int64(k+1)), sig)
+		rest := new(big.Int).Sub(s, used)
+		if rest.Sign() <= 0 {
+			break
+		}
+		if cost.Cmp(rest) <= 0 {
+			steps.Add(steps, sig)
+			used.Add(used, cost)
+			continue
+		}
+		// Partial level: floor(rest / (k+1)) more steps of degree k+1.
+		part := new(big.Int).Div(rest, big.NewInt(int64(k+1)))
+		steps.Add(steps, part)
+		break
+	}
+	return steps
+}
+
+// CriticalBias returns the root in (0,1) of x^d + x - 1 = 0. For d = 2 it
+// is the golden ratio conjugate (sqrt(5)-1)/2 ~= 0.6180..., the bias used
+// by Althofer's analysis cited in Section 6 — stated there for AND/OR
+// trees, where it is the stationary probability of value 1 under the
+// alternating AND/OR two-level map. Under this repository's NOR normal
+// form (Section 2 complements leaves at even depth), the corresponding
+// stationary NOR leaf bias is its complement; see StationaryBias.
+func CriticalBias(d int) float64 {
+	if d < 1 {
+		panic("bounds: CriticalBias requires d >= 1")
+	}
+	f := func(x float64) float64 { return math.Pow(x, float64(d)) + x - 1 }
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// StationaryBias returns the fixed point q* in (0,1) of the NOR level map
+// q -> (1-q)^d, i.e. the i.i.d. leaf bias under which the value
+// distribution of a uniform d-ary NOR tree is the same at every height —
+// the genuinely critical (hardest) regime for NOR trees. It equals
+// 1 - CriticalBias(d): the Section 2 equivalence complements leaf values,
+// carrying Althofer's AND/OR constant to the NOR side. Any other bias is
+// driven by the map toward the degenerate alternating 0/1 cycle as the
+// height grows.
+func StationaryBias(d int) float64 { return 1 - CriticalBias(d) }
+
+// AlphaBetaBranchingFactor returns Pearl's asymptotic branching factor
+// xi_d / (1 - xi_d) of alpha-beta on uniform d-ary MIN/MAX trees with
+// i.i.d. continuous leaf values (Pearl 1982, reference [8]), where xi_d is
+// the root of x^d + x - 1 = 0. The expected sequential work grows like
+// this factor raised to the height.
+func AlphaBetaBranchingFactor(d int) float64 {
+	xi := CriticalBias(d)
+	return xi / (1 - xi)
+}
+
+// TheoremSpeedupFloor returns the paper's asymptotic prediction c*(n+1) for
+// the width-1 speedup given a measured constant c (Theorems 1 and 3).
+func TheoremSpeedupFloor(c float64, n int) float64 { return c * float64(n+1) }
+
+// Float converts a big integer to float64 (with the usual loss of
+// precision for very large values), for reporting.
+func Float(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}
+
+// WidthProcessorBound returns an upper bound on the number of processors
+// Parallel SOLVE of width w can ever use on a uniform d-ary tree of
+// height n: the number of root-leaf paths whose pruning-number budget
+// survives, sum_{k=0}^{w} C(n,k)(d-1)^k. For w = 1 this is 1 + n(d-1),
+// refining the paper's statement that width 1 needs n+1 processors on
+// binary trees; the conclusion's O(n^w) processor count for general width
+// is this polynomial.
+func WidthProcessorBound(d, n, w int) *big.Int {
+	sum := new(big.Int)
+	for k := 0; k <= w && k <= n; k++ {
+		sum.Add(sum, SigmaK(d, n, k))
+	}
+	return sum
+}

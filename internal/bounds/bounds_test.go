@@ -1,0 +1,218 @@
+package bounds
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k).Int64(); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn, kk := int(n%40), int(k%40)
+		return Binomial(nn, kk).Cmp(Binomial(nn, nn-kk)) == 0 ||
+			kk > nn // out of range on one side only
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPascalProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn, kk := 1+int(n%30), int(k%30)
+		lhs := Binomial(nn, kk)
+		rhs := new(big.Int).Add(Binomial(nn-1, kk-1), Binomial(nn-1, kk))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFact1Fact2(t *testing.T) {
+	if got := Fact1(2, 4).Int64(); got != 4 {
+		t.Errorf("Fact1(2,4) = %d, want 4", got)
+	}
+	if got := Fact1(3, 5).Int64(); got != 9 {
+		t.Errorf("Fact1(3,5) = %d, want 9", got)
+	}
+	if got := Fact2(2, 4).Int64(); got != 7 { // 4 + 4 - 1
+		t.Errorf("Fact2(2,4) = %d, want 7", got)
+	}
+	if got := Fact2(2, 5).Int64(); got != 11 { // 4 + 8 - 1
+		t.Errorf("Fact2(2,5) = %d, want 11", got)
+	}
+	if KnuthMoore(3, 4).Cmp(Fact2(3, 4)) != 0 {
+		t.Error("KnuthMoore must equal Fact2 numerically")
+	}
+}
+
+func TestSigmaKSumsToDToTheN(t *testing.T) {
+	// sum_k sigma_k = d^n: every vector in {0..d-1}^n has some number of
+	// non-zero components.
+	for _, d := range []int{2, 3, 5} {
+		for n := 0; n <= 8; n++ {
+			sum := new(big.Int)
+			for k := 0; k <= n; k++ {
+				sum.Add(sum, SigmaK(d, n, k))
+			}
+			if sum.Cmp(Pow(d, n)) != 0 {
+				t.Errorf("sum sigma_k for d=%d n=%d: %v != %v", d, n, sum, Pow(d, n))
+			}
+		}
+	}
+	if SigmaK(2, 5, -1).Sign() != 0 || SigmaK(2, 5, 6).Sign() != 0 {
+		t.Error("sigma_k out of range should be 0")
+	}
+}
+
+func TestK1K2GrowLinearly(t *testing.T) {
+	// Lemmas 1 and 2: k1, k2 >= alpha*n for large n. Empirically for d=2
+	// the ratio k1/n settles well above 0.2; check monotone growth and a
+	// floor.
+	for _, d := range []int{2, 3} {
+		prev1, prev2 := -1, -1
+		for n := 10; n <= 60; n += 10 {
+			k1, k2 := K1(d, n), K2(d, n)
+			if k1 < prev1 || k2 < prev2 {
+				t.Errorf("d=%d n=%d: k1=%d k2=%d not monotone (prev %d,%d)", d, n, k1, k2, prev1, prev2)
+			}
+			prev1, prev2 = k1, k2
+			// The asymptotic ratio is small (~0.085 for d=2: the
+			// solution of H(a)+a*log2(d) = 1/2); check a loose
+			// linear floor consistent with Lemma 1's "absolute
+			// constant alpha".
+			if n >= 30 && float64(k1) < 0.05*float64(n) {
+				t.Errorf("d=%d n=%d: k1=%d below 0.05n", d, n, k1)
+			}
+			if k2 > k1 {
+				// k2's constraint sums (i+1)*sigma_i with sigma
+				// using d-1 < d, so k2 can exceed k1 for small d;
+				// both must still be linear. Just sanity-check range.
+				if k2 > n {
+					t.Errorf("k2=%d > n=%d", k2, n)
+				}
+			}
+		}
+	}
+}
+
+func TestStepUpperBound(t *testing.T) {
+	// With S = Fact1(d,n), the bound must be at least 1 and at most S.
+	for _, d := range []int{2, 3} {
+		for n := 2; n <= 20; n += 3 {
+			s := Fact1(d, n)
+			ub := StepUpperBound(d, n, s)
+			if ub.Sign() <= 0 {
+				t.Errorf("d=%d n=%d: non-positive bound", d, n)
+			}
+			if ub.Cmp(s) > 0 {
+				t.Errorf("d=%d n=%d: bound %v exceeds S %v", d, n, ub, s)
+			}
+		}
+	}
+	// Larger S can only increase the bound.
+	a := StepUpperBound(2, 10, big.NewInt(100))
+	b := StepUpperBound(2, 10, big.NewInt(1000))
+	if a.Cmp(b) > 0 {
+		t.Error("StepUpperBound not monotone in S")
+	}
+}
+
+func TestCriticalBias(t *testing.T) {
+	golden := (math.Sqrt(5) - 1) / 2
+	if got := CriticalBias(2); math.Abs(got-golden) > 1e-12 {
+		t.Errorf("CriticalBias(2) = %v, want golden ratio conjugate %v", got, golden)
+	}
+	for d := 1; d <= 10; d++ {
+		x := CriticalBias(d)
+		if r := math.Pow(x, float64(d)) + x - 1; math.Abs(r) > 1e-9 {
+			t.Errorf("d=%d: residual %v", d, r)
+		}
+		if x <= 0 || x >= 1 {
+			t.Errorf("d=%d: bias %v out of (0,1)", d, x)
+		}
+	}
+	// Bias increases with d (deeper trees need leaves to be 1 more often).
+	if CriticalBias(3) <= CriticalBias(2) {
+		t.Error("critical bias should increase with d")
+	}
+}
+
+func TestAlphaBetaBranchingFactor(t *testing.T) {
+	// Pearl: for d=2 the branching factor is xi/(1-xi) with xi the golden
+	// conjugate, i.e. about 1.618 = golden ratio.
+	if got := AlphaBetaBranchingFactor(2); math.Abs(got-1.6180339887) > 1e-6 {
+		t.Errorf("branching factor d=2 = %v, want ~1.618", got)
+	}
+	// It must lie strictly between sqrt(d) (the perfect-ordering rate)
+	// and d (no pruning).
+	for d := 2; d <= 8; d++ {
+		bf := AlphaBetaBranchingFactor(d)
+		if bf <= math.Sqrt(float64(d)) || bf >= float64(d) {
+			t.Errorf("d=%d: branching factor %v outside (sqrt d, d)", d, bf)
+		}
+	}
+}
+
+func TestProp6BoundDominatesSigma(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			if Prop6Bound(2, n, k).Cmp(SigmaK(2, n, k)) < 0 {
+				t.Errorf("Prop6Bound(2,%d,%d) below SigmaK", n, k)
+			}
+		}
+	}
+}
+
+func TestFloatAndTheoremFloor(t *testing.T) {
+	if got := Float(big.NewInt(1 << 20)); got != float64(1<<20) {
+		t.Errorf("Float = %v", got)
+	}
+	if got := TheoremSpeedupFloor(0.5, 9); got != 5 {
+		t.Errorf("TheoremSpeedupFloor = %v", got)
+	}
+}
+
+func TestWidthProcessorBound(t *testing.T) {
+	// w=0: exactly 1 (the sequential algorithm).
+	if got := WidthProcessorBound(3, 10, 0).Int64(); got != 1 {
+		t.Errorf("w=0: %d", got)
+	}
+	// Binary trees at w=1: 1 + n.
+	if got := WidthProcessorBound(2, 12, 1).Int64(); got != 13 {
+		t.Errorf("w=1 d=2: %d, want 13", got)
+	}
+	// d=3, w=1: 1 + 2n.
+	if got := WidthProcessorBound(3, 10, 1).Int64(); got != 21 {
+		t.Errorf("w=1 d=3: %d, want 21", got)
+	}
+	// Monotone in w, capped by d^n.
+	prev := int64(0)
+	for w := 0; w <= 12; w++ {
+		v := WidthProcessorBound(2, 12, w).Int64()
+		if v < prev {
+			t.Errorf("not monotone at w=%d", w)
+		}
+		prev = v
+	}
+	if prev != Pow(2, 12).Int64() {
+		t.Errorf("full-width bound %d != 2^12", prev)
+	}
+}

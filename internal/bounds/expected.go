@@ -1,0 +1,95 @@
+package bounds
+
+import "math"
+
+// This file computes the exact distribution-level theory of the i.i.d.
+// model of Section 6 for NOR trees: the probability that a uniform d-ary
+// subtree of height k evaluates to 1, and the expected number of leaves
+// the left-to-right Sequential SOLVE evaluates, conditioned on the
+// subtree's value. Both follow from a two-state dynamic program over the
+// height:
+//
+//	q_{k+1}       = (1 - q_k)^d                    (NOR of d i.i.d. children)
+//	c1_{k+1}      = d * c0_k                       (value 1: all children 0, all scanned)
+//	c0_{k+1}      = E[(i-1) c0_k + c1_k]           (value 0: scan stops at the first 1-child,
+//	                                                i ~ truncated geometric)
+//
+// These give exact reference values for the simulators: on B(d,n) with
+// Bernoulli(p) leaves, the measured mean of S(T) must converge to
+// ExpectedSolveWork(d, n, p).
+
+// IIDTheory carries the DP state at one height.
+type IIDTheory struct {
+	Q  float64 // P(value = 1)
+	C0 float64 // E[leaves evaluated by Sequential SOLVE | value = 0]
+	C1 float64 // E[leaves evaluated | value = 1]
+}
+
+// Mean returns the unconditional expected work at this height.
+func (s IIDTheory) Mean() float64 {
+	return s.Q*s.C1 + (1-s.Q)*s.C0
+}
+
+// IIDSolveTheory runs the DP up to height n for Bernoulli(p) leaves on
+// uniform d-ary NOR trees and returns the state at every height
+// (index 0 = leaves).
+func IIDSolveTheory(d, n int, p float64) []IIDTheory {
+	if d < 1 || n < 0 || p < 0 || p > 1 {
+		panic("bounds: IIDSolveTheory requires d >= 1, n >= 0, p in [0,1]")
+	}
+	out := make([]IIDTheory, n+1)
+	out[0] = IIDTheory{Q: p, C0: 1, C1: 1}
+	for k := 0; k < n; k++ {
+		q, c0, c1 := out[k].Q, out[k].C0, out[k].C1
+		next := IIDTheory{}
+		next.Q = math.Pow(1-q, float64(d))
+		next.C1 = float64(d) * c0
+		// Value 0: the first 1-child appears at position i with
+		// probability (1-q)^(i-1) q, conditioned on i <= d. Cost is
+		// (i-1)*c0 + c1.
+		pAny := 1 - math.Pow(1-q, float64(d))
+		if pAny <= 0 {
+			// Value 0 impossible (q = 0): C0 is irrelevant; keep it
+			// finite for downstream arithmetic.
+			next.C0 = float64(d) * c0
+		} else {
+			var e float64
+			for i := 1; i <= d; i++ {
+				pi := math.Pow(1-q, float64(i-1)) * q / pAny
+				e += pi * (float64(i-1)*c0 + c1)
+			}
+			next.C0 = e
+		}
+		out[k+1] = next
+	}
+	return out
+}
+
+// ExpectedSolveWork returns E[S(T)] for T in B(d,n) with Bernoulli(p)
+// leaves.
+func ExpectedSolveWork(d, n int, p float64) float64 {
+	s := IIDSolveTheory(d, n, p)
+	return s[n].Mean()
+}
+
+// RootOneProbability returns P(val(T) = 1) for T in B(d,n) with
+// Bernoulli(p) leaves. At the stationary bias (StationaryBias(d)) this
+// probability equals p at every height — the value distribution does not
+// degenerate with depth, which is why stationary-bias instances stay
+// hard; at any other bias the level map drives it toward the alternating
+// 0/1 cycle.
+func RootOneProbability(d, n int, p float64) float64 {
+	return IIDSolveTheory(d, n, p)[n].Q
+}
+
+// SolveGrowthRate estimates the per-two-level growth factor of the
+// expected sequential work at height n: E[S]/E[S two levels down]. At the
+// critical bias this converges to the square of the effective branching
+// factor of SOLVE.
+func SolveGrowthRate(d, n int, p float64) float64 {
+	if n < 2 {
+		panic("bounds: SolveGrowthRate needs n >= 2")
+	}
+	s := IIDSolveTheory(d, n, p)
+	return s[n].Mean() / s[n-2].Mean()
+}

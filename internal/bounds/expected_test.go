@@ -1,0 +1,149 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIIDTheoryBaseCases(t *testing.T) {
+	s := IIDSolveTheory(2, 0, 0.3)
+	if s[0].Q != 0.3 || s[0].C0 != 1 || s[0].C1 != 1 {
+		t.Errorf("height 0: %+v", s[0])
+	}
+	// Height 1, d=2, p: Q = (1-p)^2; C1 = 2 (both children scanned);
+	// C0 = E[(i-1)+1 | first 1 at i<=2].
+	p := 0.5
+	s = IIDSolveTheory(2, 1, p)
+	if got, want := s[1].Q, 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Q1 = %v, want %v", got, want)
+	}
+	if got := s[1].C1; got != 2 {
+		t.Errorf("C1 = %v, want 2", got)
+	}
+	// P(first 1 at 1) = 0.5, at 2 = 0.25; conditioned on any: 2/3, 1/3.
+	// Cost: at 1 -> 1 leaf; at 2 -> 2 leaves. E = 2/3*1 + 1/3*2 = 4/3.
+	if got, want := s[1].C0, 4.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("C0 = %v, want %v", got, want)
+	}
+}
+
+func TestStationaryBiasIsFixedPoint(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		q := StationaryBias(d)
+		if math.Abs(q-(1-CriticalBias(d))) > 1e-12 {
+			t.Errorf("d=%d: StationaryBias != 1-CriticalBias", d)
+		}
+		// One-step fixed point of the NOR level map.
+		if next := math.Pow(1-q, float64(d)); math.Abs(next-q) > 1e-9 {
+			t.Errorf("d=%d: map moved stationary bias %v -> %v", d, q, next)
+		}
+		// The DP keeps the root distribution at q at every height.
+		for n := 1; n <= 10; n++ {
+			if got := RootOneProbability(d, n, q); math.Abs(got-q) > 1e-9 {
+				t.Errorf("d=%d n=%d: root probability %v, want %v", d, n, got, q)
+			}
+		}
+	}
+	// Away from the stationary bias the probability degenerates to the
+	// alternating 0/1 cycle; at p=0.9, even heights saturate toward 1.
+	if q := RootOneProbability(2, 10, 0.9); q < 0.9 {
+		t.Errorf("expected saturation toward 1 at even heights, got %v", q)
+	}
+	// The AND/OR-side constant is NOT stationary for NOR trees: it
+	// saturates (this is the Section 2 complementation at work).
+	if q := RootOneProbability(2, 10, CriticalBias(2)); math.Abs(q-CriticalBias(2)) < 0.1 {
+		t.Errorf("CriticalBias unexpectedly stationary on the NOR side: %v", q)
+	}
+}
+
+func TestExpectedWorkMonotoneAndBounded(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		p := StationaryBias(d)
+		prev := 0.0
+		for n := 0; n <= 12; n++ {
+			w := ExpectedSolveWork(d, n, p)
+			if w < prev {
+				t.Errorf("d=%d n=%d: expected work decreased %v -> %v", d, n, prev, w)
+			}
+			prev = w
+			full := math.Pow(float64(d), float64(n))
+			if w < 1 || w > full {
+				t.Errorf("d=%d n=%d: expected work %v outside [1, %v]", d, n, w, full)
+			}
+			// Fact 1 in expectation: at least the proof-tree size for
+			// one of the two conditional values... the unconditional
+			// mean must be at least d^floor(n/2) * min prob mass; use
+			// the weaker sanity bound of 1 leaf per two levels:
+			if w < float64(n)/2 && n > 4 {
+				t.Errorf("d=%d n=%d: expected work %v implausibly small", d, n, w)
+			}
+		}
+	}
+}
+
+func TestSolveGrowthRate(t *testing.T) {
+	// At the stationary bias the growth rate per two levels is strictly
+	// between d (the Fact 1 proof-tree rate, attained by the degenerate
+	// alternating-values regime) and d^2 (full scan).
+	for _, d := range []int{2, 3} {
+		r := SolveGrowthRate(d, 14, StationaryBias(d))
+		if r <= float64(d)+1e-9 || r >= float64(d*d) {
+			t.Errorf("d=%d: growth rate %v outside (d, d^2)", d, r)
+		}
+	}
+	// Saturated regimes collapse to the proof-tree rate d.
+	if r := SolveGrowthRate(2, 14, 0.95); math.Abs(r-2) > 0.05 {
+		t.Errorf("saturated growth rate %v, want ~2", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n < 2")
+		}
+	}()
+	SolveGrowthRate(2, 1, 0.5)
+}
+
+func TestIIDTheoryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { IIDSolveTheory(0, 3, 0.5) },
+		func() { IIDSolveTheory(2, -1, 0.5) },
+		func() { IIDSolveTheory(2, 3, -0.1) },
+		func() { IIDSolveTheory(2, 3, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegenerateBiases(t *testing.T) {
+	// p=1: every leaf is 1 -> height-1 node is 0 after scanning exactly
+	// one child; height-2 node: all children 0, scans all d.
+	s := IIDSolveTheory(2, 2, 1)
+	if s[1].Q != 0 {
+		t.Errorf("q1 = %v", s[1].Q)
+	}
+	if math.Abs(s[1].C0-1) > 1e-12 {
+		t.Errorf("c0 at height 1 = %v, want 1", s[1].C0)
+	}
+	if math.Abs(s[2].Mean()-2) > 1e-12 {
+		t.Errorf("mean work at height 2 = %v, want 2", s[2].Mean())
+	}
+	// p=0: all leaves 0, so values alternate deterministically by level
+	// (height 1 nodes are 1, height 2 nodes are 0, ...). Height-2 nodes
+	// stop at their first (1-valued) child: cost 2; height-3 nodes scan
+	// both 0-valued children: cost 4 — NOT the full 8, because the
+	// short circuit still fires at the 1-levels.
+	s0 := IIDSolveTheory(2, 3, 0)
+	if math.Abs(s0[2].Mean()-2) > 1e-12 {
+		t.Errorf("p=0 mean work at h=2 = %v, want 2", s0[2].Mean())
+	}
+	if math.Abs(s0[3].Mean()-4) > 1e-12 {
+		t.Errorf("p=0 mean work at h=3 = %v, want 4", s0[3].Mean())
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gametree/internal/tree"
+)
+
+func TestFixedPCorrectValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		nor := tree.IIDNor(2+rng.Intn(2), rng.Intn(6), 0.5, rng.Int63())
+		want := nor.Evaluate()
+		for w := 0; w <= 2; w++ {
+			for _, p := range []int{1, 2, 3, 100} {
+				m, err := ParallelSolveFixed(nor, w, p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Value != want {
+					t.Fatalf("trial %d w=%d p=%d: value %d, want %d", trial, w, p, m.Value, want)
+				}
+				if m.Processors > p {
+					t.Fatalf("trial %d w=%d p=%d: used %d processors", trial, w, p, m.Processors)
+				}
+			}
+		}
+		mm := tree.IIDMinMax(2, rng.Intn(5), -50, 50, rng.Int63())
+		wantM := mm.Evaluate()
+		for _, p := range []int{1, 2, 100} {
+			m, err := ParallelAlphaBetaFixed(mm, 1, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Value != wantM {
+				t.Fatalf("trial %d minmax p=%d: value %d, want %d", trial, p, m.Value, wantM)
+			}
+			if m.Processors > p {
+				t.Fatalf("trial %d minmax p=%d: used %d processors", trial, p, m.Processors)
+			}
+		}
+	}
+}
+
+// With one processor the fixed variant always evaluates the leftmost
+// candidate, i.e. it IS the sequential algorithm, step for step.
+func TestFixedPOneProcessorIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		nor := tree.IIDNor(2, 1+rng.Intn(5), 0.618, rng.Int63())
+		a, err := ParallelSolveFixed(nor, 3, 1, Options{RecordLeaves: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SequentialSolve(nor, Options{RecordLeaves: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Steps != b.Steps {
+			t.Fatalf("trial %d: %d steps vs sequential %d", trial, a.Steps, b.Steps)
+		}
+		for i := range a.Leaves {
+			if a.Leaves[i] != b.Leaves[i] {
+				t.Fatalf("trial %d: leaf order diverges at %d", trial, i)
+			}
+		}
+		mm := tree.IIDMinMax(2, 1+rng.Intn(4), -50, 50, rng.Int63())
+		am, err := ParallelAlphaBetaFixed(mm, 3, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := SequentialAlphaBeta(mm, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if am.Steps != bm.Steps || am.Work != bm.Work {
+			t.Fatalf("trial %d minmax: %+v vs %+v", trial, am, bm)
+		}
+	}
+}
+
+// Unlimited p must equal the plain width algorithm exactly.
+func TestFixedPUnlimitedEqualsPlain(t *testing.T) {
+	nor := tree.WorstCaseNOR(2, 10, 1)
+	for w := 0; w <= 3; w++ {
+		a, err := ParallelSolveFixed(nor, w, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ParallelSolve(nor, w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Steps != b.Steps || a.Work != b.Work {
+			t.Errorf("w=%d: fixed(0) %+v != plain %+v", w, a, b)
+		}
+		big, err := ParallelSolveFixed(nor, w, 1<<20, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.Steps != b.Steps {
+			t.Errorf("w=%d: fixed(huge) %d steps != plain %d", w, big.Steps, b.Steps)
+		}
+	}
+}
+
+// More processors can only help (steps non-increasing in p).
+func TestFixedPMonotoneInP(t *testing.T) {
+	nor := tree.WorstCaseNOR(2, 10, 1)
+	prev := int64(1 << 62)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		m, err := ParallelSolveFixed(nor, 3, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Steps > prev {
+			t.Errorf("p=%d: steps %d > previous %d", p, m.Steps, prev)
+		}
+		prev = m.Steps
+	}
+}
+
+func TestFixedPErrors(t *testing.T) {
+	nor := tree.IIDNor(2, 3, 0.5, 1)
+	if _, err := ParallelSolveFixed(nor, -1, 2, Options{}); err == nil {
+		t.Error("negative width accepted")
+	}
+	mm := tree.IIDMinMax(2, 3, 0, 9, 1)
+	if _, err := ParallelAlphaBetaFixed(mm, -1, 2, Options{}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := ParallelAlphaBetaFixed(mm, 1, 2, Options{MaxSteps: 1}); err != ErrStepLimit {
+		t.Error("step limit not enforced")
+	}
+}

@@ -1,0 +1,79 @@
+// Package core implements the leaf-evaluation model of Karp & Zhang (1989)
+// and the paper's algorithms in that model:
+//
+//   - Sequential SOLVE, Team SOLVE(p) and Parallel SOLVE(w) for NOR trees
+//     (Section 2), and
+//   - the general pruning process with Sequential α-β and Parallel α-β(w)
+//     for MIN/MAX trees (Section 4).
+//
+// A run proceeds in synchronous basic steps. At each step the algorithm
+// evaluates a set of leaves simultaneously; the running time is the number
+// of steps, the number of processors is the maximum number of leaves
+// evaluated in one step, and the total work is the number of leaves
+// evaluated (all other computation is free in this model).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gametree/internal/tree"
+)
+
+// ErrStepLimit is returned when a simulation exceeds its MaxSteps budget.
+var ErrStepLimit = errors.New("core: step limit exceeded")
+
+// Metrics is the outcome of one simulated run.
+type Metrics struct {
+	Value      int32   // value of the root
+	Steps      int64   // number of basic steps (the running time)
+	Work       int64   // total leaves evaluated
+	Processors int     // max leaves evaluated in a single step
+	DegreeHist []int64 // DegreeHist[k] = number of steps of parallel degree k (index 0 unused)
+
+	// Leaves lists the evaluated leaves in evaluation order (ties within
+	// one step in left-to-right order) when Options.RecordLeaves is set;
+	// nil otherwise.
+	Leaves []tree.NodeID
+}
+
+// Speedup returns s.Steps-based speedup of this run relative to a
+// sequential run that used seqSteps steps.
+func (m Metrics) Speedup(seqSteps int64) float64 {
+	if m.Steps == 0 {
+		return 0
+	}
+	return float64(seqSteps) / float64(m.Steps)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("value=%d steps=%d work=%d procs=%d", m.Value, m.Steps, m.Work, m.Processors)
+}
+
+// Options configures a simulated run.
+type Options struct {
+	// RecordLeaves makes the simulator record the evaluated leaves in
+	// order (needed to build skeletons H_T).
+	RecordLeaves bool
+	// MaxSteps bounds the number of basic steps; 0 means no limit.
+	MaxSteps int64
+}
+
+func (o Options) check(steps int64) error {
+	if o.MaxSteps > 0 && steps > o.MaxSteps {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func (m *Metrics) recordStep(degree int) {
+	m.Steps++
+	m.Work += int64(degree)
+	if degree > m.Processors {
+		m.Processors = degree
+	}
+	for len(m.DegreeHist) <= degree {
+		m.DegreeHist = append(m.DegreeHist, 0)
+	}
+	m.DegreeHist[degree]++
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"gametree/internal/tree"
+)
+
+// This file instruments Parallel SOLVE with the proof objects of
+// Proposition 3: the base path of each step (the root-leaf path to the
+// leftmost live leaf) and its code — the vector whose i-th component is
+// the number of live right-siblings of the i-th path node before the
+// step. The proof of Proposition 3 shows that for width 1 the codes of
+// successive steps strictly decrease in lexicographic order, and that the
+// parallel degree of a step equals one plus the number of non-zero code
+// components; TraceParallelSolve exposes both facts for verification.
+
+// StepTrace records one step of an instrumented run.
+type StepTrace struct {
+	// BasePath is the root-leaf path to the leftmost live leaf before
+	// the step, root first.
+	BasePath []tree.NodeID
+	// Code is the base path's code: Code[i] counts the live
+	// right-siblings of BasePath[i+1] (the paper indexes path nodes from
+	// the first level below the root; the root itself has no siblings).
+	Code []int
+	// Leaves are the leaves evaluated at this step, in left-to-right
+	// order.
+	Leaves []tree.NodeID
+}
+
+// Degree returns the parallel degree of the step.
+func (s StepTrace) Degree() int { return len(s.Leaves) }
+
+// NonZeroCode returns the number of non-zero code components.
+func (s StepTrace) NonZeroCode() int {
+	k := 0
+	for _, c := range s.Code {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// CompareCodes compares two codes lexicographically, padding the shorter
+// one with zeros (paths can have different lengths on non-uniform trees).
+// It returns -1, 0 or +1.
+func CompareCodes(a, b []int) int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		av, bv := 0, 0
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	}
+	return 0
+}
+
+// TraceParallelSolve runs Parallel SOLVE of width w on a NOR tree and
+// records, for every step, the base path, its code, and the leaves
+// evaluated. Metrics match ParallelSolve exactly.
+func TraceParallelSolve(t *tree.Tree, w int, opt Options) ([]StepTrace, Metrics, error) {
+	if w < 0 {
+		return nil, Metrics{}, fmt.Errorf("core: TraceParallelSolve requires width >= 0, got %d", w)
+	}
+	s := newNorState(t)
+	var traces []StepTrace
+	var m Metrics
+	for s.det[0] < 0 {
+		st := StepTrace{}
+		st.BasePath, st.Code = s.basePath()
+		s.selected = s.selected[:0]
+		s.collectWidth(0, w)
+		if len(s.selected) == 0 {
+			return traces, m, fmt.Errorf("core: no live leaves selected but root undetermined (bug)")
+		}
+		st.Leaves = append([]tree.NodeID(nil), s.selected...)
+		traces = append(traces, st)
+		for _, l := range s.selected {
+			s.determine(l, int8(s.t.LeafValue(l)))
+		}
+		if opt.RecordLeaves {
+			m.Leaves = append(m.Leaves, st.Leaves...)
+		}
+		m.recordStep(len(st.Leaves))
+		if err := opt.check(m.Steps); err != nil {
+			return traces, m, err
+		}
+	}
+	m.Value = int32(s.det[0])
+	return traces, m, nil
+}
+
+// basePath returns the path from the root to the leftmost live leaf and
+// its code. The receiver's root must be live.
+func (s *norState) basePath() ([]tree.NodeID, []int) {
+	var path []tree.NodeID
+	var code []int
+	v := tree.NodeID(0)
+	path = append(path, v)
+	for !s.t.IsLeaf(v) {
+		nd := s.t.Node(v)
+		// Find the leftmost live child and count the live siblings to
+		// its right.
+		next := tree.None
+		liveRight := 0
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			if s.det[c] >= 0 {
+				continue
+			}
+			if next == tree.None {
+				next = c
+			} else {
+				liveRight++
+			}
+		}
+		if next == tree.None {
+			panic("core: basePath on a node with no live children")
+		}
+		path = append(path, next)
+		code = append(code, liveRight)
+		v = next
+	}
+	return path, code
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"gametree/internal/tree"
+)
+
+// TraceParallelAlphaBeta is the MIN/MAX counterpart of TraceParallelSolve:
+// it runs Parallel alpha-beta of width w recording, for each step, the
+// base path (root to the leftmost unfinished leaf of the pruned tree) and
+// its code (per path node, the number of unfinished right-siblings).
+// Section 4 asserts without proof that "the conclusion of Proposition 3
+// remains valid for MIN/MAX trees"; the traces let tests check the
+// underlying code machinery — strict lexicographic decrease and the
+// degree identity — directly on the pruning process.
+func TraceParallelAlphaBeta(t *tree.Tree, w int, opt Options) ([]StepTrace, Metrics, error) {
+	if w < 0 {
+		return nil, Metrics{}, fmt.Errorf("core: TraceParallelAlphaBeta requires width >= 0, got %d", w)
+	}
+	s := newMinmaxState(t)
+	var traces []StepTrace
+	var m Metrics
+	for !s.finished[0] {
+		st := StepTrace{}
+		st.BasePath, st.Code = s.basePath()
+		s.selected = s.selected[:0]
+		s.collectWidth(0, w)
+		if len(s.selected) == 0 {
+			return traces, m, fmt.Errorf("core: no unfinished leaves selected but root unfinished (bug)")
+		}
+		st.Leaves = append([]tree.NodeID(nil), s.selected...)
+		traces = append(traces, st)
+		for _, l := range s.selected {
+			s.bumpEval(l)
+			s.finishLeaf(l)
+		}
+		if opt.RecordLeaves {
+			m.Leaves = append(m.Leaves, st.Leaves...)
+		}
+		m.recordStep(len(st.Leaves))
+		for s.prunePass() {
+		}
+		if err := opt.check(m.Steps); err != nil {
+			return traces, m, err
+		}
+	}
+	m.Value = s.val[0]
+	return traces, m, nil
+}
+
+// basePath returns the path to the leftmost unfinished leaf of the pruned
+// tree and its code (unfinished right-siblings per path node).
+func (s *minmaxState) basePath() ([]tree.NodeID, []int) {
+	var path []tree.NodeID
+	var code []int
+	v := tree.NodeID(0)
+	path = append(path, v)
+	for !s.t.IsLeaf(v) {
+		nd := s.t.Node(v)
+		next := tree.None
+		right := 0
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			if s.deleted[c] || s.finished[c] {
+				continue
+			}
+			if next == tree.None {
+				next = c
+			} else {
+				right++
+			}
+		}
+		if next == tree.None {
+			panic("core: basePath on a node with no unfinished children")
+		}
+		path = append(path, next)
+		code = append(code, right)
+		v = next
+	}
+	return path, code
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gametree/internal/tree"
+)
+
+// The central fact behind Proposition 3: during a width-1 run, the codes
+// of successive base paths strictly decrease in lexicographic order.
+func TestBasePathCodesStrictlyDecrease(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(tr *tree.Tree, label string) {
+		t.Helper()
+		traces, m, err := TraceParallelSolve(tr, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != tr.Evaluate() {
+			t.Fatalf("%s: wrong value", label)
+		}
+		for i := 1; i < len(traces); i++ {
+			if CompareCodes(traces[i].Code, traces[i-1].Code) >= 0 {
+				t.Fatalf("%s: code at step %d (%v) does not decrease from %v",
+					label, i, traces[i].Code, traces[i-1].Code)
+			}
+		}
+	}
+	// On skeletons (the setting of the proposition).
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(2)
+		n := 2 + rng.Intn(5)
+		tr := tree.IIDNor(d, n, 0.618, rng.Int63())
+		seq, err := SequentialSolve(tr, Options{RecordLeaves: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := tree.Skeleton(tr, seq.Leaves)
+		check(h, "skeleton")
+	}
+	// The argument does not depend on skeleton-ness; verify on raw trees.
+	for trial := 0; trial < 20; trial++ {
+		check(tree.IIDNor(2, 2+rng.Intn(6), 0.5, rng.Int63()), "raw")
+	}
+	check(tree.WorstCaseNOR(2, 8, 1), "worst")
+	check(tree.BestCaseNOR(3, 6, 0), "best")
+}
+
+// The degree relation from the proof: at every width-1 step, the parallel
+// degree equals 1 + (number of non-zero code components).
+func TestDegreeEqualsOnePlusNonZeroCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		tr := tree.IIDNor(2+rng.Intn(2), 2+rng.Intn(5), 0.618, rng.Int63())
+		traces, _, err := TraceParallelSolve(tr, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, st := range traces {
+			if st.Degree() != 1+st.NonZeroCode() {
+				t.Fatalf("trial %d step %d: degree %d != 1+%d (code %v)",
+					trial, i, st.Degree(), st.NonZeroCode(), st.Code)
+			}
+		}
+	}
+}
+
+// The base path must end at the leftmost live leaf, which is the first
+// leaf evaluated at the step, and the recorded metrics must match the
+// uninstrumented run exactly.
+func TestTraceConsistentWithPlainRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.IIDNor(2, 2+rng.Intn(6), 0.5, rng.Int63())
+		for w := 0; w <= 2; w++ {
+			traces, m, err := TraceParallelSolve(tr, w, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := ParallelSolve(tr, w, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Steps != plain.Steps || m.Work != plain.Work || m.Value != plain.Value {
+				t.Fatalf("trial %d w=%d: trace metrics %+v != plain %+v", trial, w, m, plain)
+			}
+			for i, st := range traces {
+				last := st.BasePath[len(st.BasePath)-1]
+				if st.Leaves[0] != last {
+					t.Fatalf("trial %d w=%d step %d: first leaf %d != base path end %d",
+						trial, w, i, st.Leaves[0], last)
+				}
+				if len(st.Code) != len(st.BasePath)-1 {
+					t.Fatalf("trial %d step %d: code length %d for path length %d",
+						trial, i, len(st.Code), len(st.BasePath))
+				}
+			}
+		}
+	}
+}
+
+// Distinctness: base paths of different steps are distinct (they end at
+// different leftmost live leaves), hence so are their codes.
+func TestBasePathsDistinct(t *testing.T) {
+	tr := tree.IIDNor(2, 8, 0.618, 7)
+	traces, _, err := TraceParallelSolve(tr, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[tree.NodeID]bool{}
+	for i, st := range traces {
+		end := st.BasePath[len(st.BasePath)-1]
+		if seen[end] {
+			t.Fatalf("step %d: base path endpoint %d repeated", i, end)
+		}
+		seen[end] = true
+	}
+}
+
+func TestCompareCodes(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{0, 1}, []int{0, 1}, 0},
+		{[]int{0, 1}, []int{1, 0}, -1},
+		{[]int{1}, []int{0, 5}, 1},
+		{[]int{0, 0}, []int{0}, 0}, // zero padding
+		{nil, []int{0, 0}, 0},
+		{[]int{2, 9}, []int{3}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareCodes(c.a, c.b); got != c.want {
+			t.Errorf("CompareCodes(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	tr := tree.WorstCaseNOR(2, 6, 1)
+	if _, _, err := TraceParallelSolve(tr, -1, Options{}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, _, err := TraceParallelSolve(tr, 1, Options{MaxSteps: 1}); err != ErrStepLimit {
+		t.Errorf("want ErrStepLimit, got %v", err)
+	}
+}
+
+// Section 4 asserts (without proof) that the Proposition 3 machinery
+// carries over to MIN/MAX trees. Check the code properties on the
+// alpha-beta pruning process directly.
+func TestMinMaxBasePathCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	check := func(tr *tree.Tree, label string) {
+		t.Helper()
+		traces, m, err := TraceParallelAlphaBeta(tr, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != tr.Evaluate() {
+			t.Fatalf("%s: wrong value", label)
+		}
+		for i, st := range traces {
+			if i > 0 && CompareCodes(st.Code, traces[i-1].Code) >= 0 {
+				t.Fatalf("%s: code at step %d (%v) does not decrease from %v",
+					label, i, st.Code, traces[i-1].Code)
+			}
+			if st.Degree() != 1+st.NonZeroCode() {
+				t.Fatalf("%s step %d: degree %d != 1+%d", label, i, st.Degree(), st.NonZeroCode())
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		check(tree.IIDMinMax(2+rng.Intn(2), 1+rng.Intn(5), -100, 100, rng.Int63()), "iid")
+	}
+	check(tree.WorstOrderedMinMax(2, 8, 1), "worst-ordered")
+	check(tree.BestOrderedMinMax(2, 8, 1), "best-ordered")
+}
+
+// The trace must match the plain parallel alpha-beta run step for step.
+func TestMinMaxTraceConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		tr := tree.IIDMinMax(2, 1+rng.Intn(5), -50, 50, rng.Int63())
+		for w := 0; w <= 2; w++ {
+			_, m, err := TraceParallelAlphaBeta(tr, w, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := ParallelAlphaBeta(tr, w, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Steps != plain.Steps || m.Work != plain.Work || m.Value != plain.Value {
+				t.Fatalf("trial %d w=%d: %+v != %+v", trial, w, m, plain)
+			}
+		}
+	}
+	if _, _, err := TraceParallelAlphaBeta(tree.IIDMinMax(2, 3, 0, 9, 1), -1, Options{}); err == nil {
+		t.Error("negative width accepted")
+	}
+}

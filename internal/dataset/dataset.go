@@ -1,0 +1,160 @@
+// Package dataset provides reproducible instance suites on disk: a
+// manifest (JSON) describing a family of generated instances plus one
+// encoded tree file per instance. It exists so experiment inputs can be
+// frozen, shared and re-loaded bit-for-bit — the reproducibility layer
+// behind cmd/gtgen.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gametree/internal/tree"
+)
+
+// Spec describes one instance to generate.
+type Spec struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`   // "nor" or "minmax"
+	Family   string  `json:"family"` // worst, best, iid, best-ordered, worst-ordered, near-uniform
+	D        int     `json:"d"`      // branching factor
+	N        int     `json:"n"`      // height
+	Bias     float64 `json:"bias"`   // NOR iid leaf bias
+	Lo       int32   `json:"lo"`     // MinMax iid value range, lower end
+	Hi       int32   `json:"hi"`     // MinMax iid value range, upper end
+	Alpha    float64 `json:"alpha"`  // near-uniform degree ratio
+	Beta     float64 `json:"beta"`   // near-uniform depth ratio
+	Seed     int64   `json:"seed"`
+	RootVal  int32   `json:"rootval"`  // worst/best NOR root value
+	Checksum string  `json:"checksum"` // filled at write time: value + size
+}
+
+// Manifest is the on-disk description of a suite.
+type Manifest struct {
+	Title     string `json:"title"`
+	Instances []Spec `json:"instances"`
+}
+
+// Generate materializes the tree a Spec describes.
+func Generate(s Spec) (*tree.Tree, error) {
+	switch s.Kind {
+	case "nor":
+		switch s.Family {
+		case "worst":
+			return tree.WorstCaseNOR(s.D, s.N, s.RootVal), nil
+		case "best":
+			return tree.BestCaseNOR(s.D, s.N, s.RootVal), nil
+		case "iid":
+			return tree.IIDNor(s.D, s.N, s.Bias, s.Seed), nil
+		case "near-uniform":
+			return tree.NearUniform(tree.NOR, s.D, s.N, s.Alpha, s.Beta, s.Seed,
+				tree.BernoulliLeaves(s.Bias, s.Seed+1)), nil
+		}
+	case "minmax":
+		switch s.Family {
+		case "iid":
+			return tree.IIDMinMax(s.D, s.N, s.Lo, s.Hi, s.Seed), nil
+		case "best-ordered":
+			return tree.BestOrderedMinMax(s.D, s.N, s.Seed), nil
+		case "worst-ordered":
+			return tree.WorstOrderedMinMax(s.D, s.N, s.Seed), nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown kind/family %q/%q", s.Kind, s.Family)
+}
+
+// checksum is a cheap content fingerprint: value, node count, height.
+func checksum(t *tree.Tree) string {
+	return fmt.Sprintf("v%d-n%d-h%d", t.Evaluate(), t.Len(), t.Height)
+}
+
+// Write materializes every instance of the manifest into dir: one
+// <name>.tree file per instance plus manifest.json (with checksums).
+func Write(dir string, m Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range m.Instances {
+		s := &m.Instances[i]
+		if s.Name == "" {
+			return fmt.Errorf("dataset: instance %d has no name", i)
+		}
+		t, err := Generate(*s)
+		if err != nil {
+			return err
+		}
+		s.Checksum = checksum(t)
+		f, err := os.Create(filepath.Join(dir, s.Name+".tree"))
+		if err != nil {
+			return err
+		}
+		if err := t.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	mf, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
+}
+
+// Load reads a suite back: the manifest and every tree, verifying each
+// checksum.
+func Load(dir string) (Manifest, map[string]*tree.Tree, error) {
+	var m Manifest
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return m, nil, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, nil, fmt.Errorf("dataset: bad manifest: %w", err)
+	}
+	trees := make(map[string]*tree.Tree, len(m.Instances))
+	for _, s := range m.Instances {
+		f, err := os.Open(filepath.Join(dir, s.Name+".tree"))
+		if err != nil {
+			return m, nil, err
+		}
+		t, err := tree.Decode(f)
+		f.Close()
+		if err != nil {
+			return m, nil, fmt.Errorf("dataset: %s: %w", s.Name, err)
+		}
+		if got := checksum(t); s.Checksum != "" && got != s.Checksum {
+			return m, nil, fmt.Errorf("dataset: %s: checksum %s, manifest says %s", s.Name, got, s.Checksum)
+		}
+		trees[s.Name] = t
+	}
+	return m, trees, nil
+}
+
+// StandardSuite returns the manifest used by the repository's frozen
+// benchmark inputs: one instance per family at moderate sizes.
+func StandardSuite(seed int64) Manifest {
+	return Manifest{
+		Title: "gametree standard suite",
+		Instances: []Spec{
+			{Name: "nor-worst-2-12", Kind: "nor", Family: "worst", D: 2, N: 12, RootVal: 1},
+			{Name: "nor-best-2-12", Kind: "nor", Family: "best", D: 2, N: 12, RootVal: 1},
+			{Name: "nor-iid-2-12", Kind: "nor", Family: "iid", D: 2, N: 12, Bias: 0.381966, Seed: seed},
+			{Name: "nor-near-uniform-4-10", Kind: "nor", Family: "near-uniform", D: 4, N: 10,
+				Bias: 0.317672, Alpha: 0.5, Beta: 0.5, Seed: seed},
+			{Name: "mm-iid-2-10", Kind: "minmax", Family: "iid", D: 2, N: 10, Lo: -1000, Hi: 1000, Seed: seed},
+			{Name: "mm-best-2-10", Kind: "minmax", Family: "best-ordered", D: 2, N: 10, Seed: seed},
+			{Name: "mm-worst-2-10", Kind: "minmax", Family: "worst-ordered", D: 2, N: 10, Seed: seed},
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := StandardSuite(7)
+	if err := Write(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, trees, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Title != m.Title || len(loaded.Instances) != len(m.Instances) {
+		t.Fatalf("manifest mismatch: %+v", loaded)
+	}
+	for _, s := range loaded.Instances {
+		tr, ok := trees[s.Name]
+		if !ok {
+			t.Fatalf("missing tree %s", s.Name)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// Regenerating from the spec gives the identical tree.
+		regen, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regen.Len() != tr.Len() || regen.Evaluate() != tr.Evaluate() {
+			t.Fatalf("%s: regeneration differs", s.Name)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Title: "t", Instances: []Spec{
+		{Name: "a", Kind: "nor", Family: "worst", D: 2, N: 4, RootVal: 1},
+	}}
+	if err := Write(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the tree file for a different instance.
+	other := Manifest{Title: "t", Instances: []Spec{
+		{Name: "a", Kind: "nor", Family: "worst", D: 2, N: 5, RootVal: 1},
+	}}
+	dir2 := t.TempDir()
+	if err := Write(dir2, other); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir2, "a.tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.tree"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption not detected: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Kind: "nor", Family: "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := Generate(Spec{Kind: "xxx", Family: "worst"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := Write(t.TempDir(), Manifest{Instances: []Spec{{}}}); err == nil {
+		t.Error("nameless instance accepted")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil {
+		t.Error("bad json should fail")
+	}
+}

@@ -1,0 +1,292 @@
+// Package engine is the practical, wall-clock-parallel counterpart of the
+// paper's step-model algorithms: a goroutine-based game evaluator for real
+// games exposed through the Position interface.
+//
+// The parallel search uses the paper's central idea — spend extra
+// processors on the nodes a left-to-right sequential search would reach
+// soonest — in its engineering form: at every node the first (leftmost)
+// successor is searched before the others ("young brothers wait", the
+// cascade of Section 2's P-SOLVE), and the remaining successors are then
+// searched concurrently with the window established by the first. A
+// speculative sibling search is aborted when a cutoff is found, mirroring
+// the pre-emption rule of Section 7.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Position is a game state. Implementations must be immutable values:
+// Moves returns successor states and must not mutate the receiver.
+type Position interface {
+	// Moves returns the legal successor positions in preference order.
+	// An empty slice means the position is terminal.
+	Moves() []Position
+	// Evaluate returns a static score from the perspective of the side
+	// to move (negamax convention). It is called at terminal positions
+	// and at the depth horizon.
+	Evaluate() int32
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	Value int32 // negamax value of the root (side to move's perspective)
+	Best  int   // index of the best root move; -1 for terminal/depth-0 roots
+	Nodes int64 // positions visited
+}
+
+// ErrCancelled is returned when the context is cancelled mid-search.
+var ErrCancelled = errors.New("engine: search cancelled")
+
+const (
+	winScore  = int32(1 << 24) // larger than any heuristic score
+	scoreInf  = int64(math.MaxInt32)
+	checkMask = 255 // context poll frequency in nodes
+)
+
+// Search evaluates the position to the given depth with sequential
+// fail-hard alpha-beta (negamax form). depth < 0 means no horizon.
+func Search(pos Position, depth int) Result {
+	e := &searcher{ctx: context.Background()}
+	v, best := e.negamax(pos, depth, -scoreInf, scoreInf, true)
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}
+}
+
+// SearchParallel evaluates the position to the given depth using up to
+// workers concurrent goroutines (0 means GOMAXPROCS). It returns the same
+// value as Search.
+func SearchParallel(ctx context.Context, pos Position, depth, workers int) (Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &searcher{ctx: ctx, sem: make(chan struct{}, workers)}
+	v, best := e.parallel(pos, depth, -scoreInf, scoreInf, true)
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}, nil
+}
+
+type searcher struct {
+	ctx   context.Context
+	sem   chan struct{} // bounds concurrent speculative searches
+	table *Table        // optional shared transposition table
+	nodes atomic.Int64
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (e *searcher) cancelled() bool {
+	select {
+	case <-e.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// negamax is the sequential fail-hard search. wantBest selects whether the
+// best-move index is tracked (only needed at the root). When the searcher
+// carries a transposition table and the position implements Hasher,
+// sufficient-depth entries cut off immediately and stored best moves are
+// tried first.
+func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
+	n := e.nodes.Add(1)
+	if n&checkMask == 0 && e.cancelled() {
+		return alpha, -1
+	}
+	if depth == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+	moves := pos.Moves()
+	if len(moves) == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+
+	var hash uint64
+	hashed := false
+	ttBest := -1
+	if e.table != nil {
+		if h, ok := pos.(Hasher); ok {
+			hash, hashed = h.Hash(), true
+			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
+				if tb >= 0 && tb < len(moves) {
+					ttBest = tb
+				}
+				if d >= depth {
+					switch flag {
+					case boundExact:
+						return int64(v), ttBest
+					case boundLower:
+						if int64(v) > alpha {
+							alpha = int64(v)
+						}
+					case boundUpper:
+						if int64(v) < beta {
+							beta = int64(v)
+						}
+					}
+					if alpha >= beta {
+						return int64(v), ttBest
+					}
+				}
+			}
+		}
+	}
+	alpha0 := alpha
+
+	best := int64(-scoreInf)
+	bestIdx := -1
+	for j := 0; j < len(moves); j++ {
+		// Visit the stored best move first, then the rest in order.
+		i := j
+		if ttBest >= 0 {
+			switch {
+			case j == 0:
+				i = ttBest
+			case j <= ttBest:
+				i = j - 1
+			}
+		}
+		v, _ := e.negamax(moves[i], depth-1, -beta, -alpha, false)
+		v = -v
+		if v > best {
+			best = v
+			bestIdx = i
+		}
+		if best > alpha {
+			alpha = best
+		}
+		if alpha >= beta {
+			break
+		}
+	}
+	if hashed && !e.cancelled() {
+		flag := boundExact
+		switch {
+		case best <= alpha0:
+			flag = boundUpper
+		case best >= beta:
+			flag = boundLower
+		}
+		e.table.Store(hash, int32(best), depth, flag, bestIdx)
+	}
+	if !wantBest {
+		return best, -1
+	}
+	return best, bestIdx
+}
+
+// parallel is the cascade search: leftmost child first (recursively
+// parallel), then the remaining children speculatively in goroutines, each
+// running the sequential search with the window sharpened by the first
+// child's value. A beta cutoff cancels the speculative siblings.
+func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
+	e.nodes.Add(1)
+	if e.cancelled() {
+		return alpha, -1
+	}
+	if depth == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+	moves := pos.Moves()
+	if len(moves) == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+	// Shallow subtrees are cheaper to search in place than to schedule.
+	if depth <= 2 || len(moves) == 1 {
+		return e.negamax(pos, depth, alpha, beta, wantBest)
+	}
+
+	// Phase 1: the leftmost child establishes the window, exactly as the
+	// sequential algorithm would.
+	v0, _ := e.parallel(moves[0], depth-1, -beta, -alpha, false)
+	best := -v0
+	bestIdx := 0
+	if best > alpha {
+		alpha = best
+	}
+	if alpha >= beta || e.cancelled() {
+		return best, bestIdx
+	}
+
+	// Phase 2: speculative siblings. Each runs with the spawn-time
+	// window; a wider (stale) alpha only loses sharpness, never
+	// correctness.
+	type sibling struct {
+		idx int
+		val int64
+	}
+	subCtx, cancel := context.WithCancel(e.ctx)
+	defer cancel()
+	results := make(chan sibling, len(moves)-1)
+	var wg sync.WaitGroup
+	a0 := atomic.Int64{}
+	a0.Store(alpha)
+	for i := 1; i < len(moves); i++ {
+		wg.Add(1)
+		go func(i int, m Position) {
+			defer wg.Done()
+			if e.sem != nil {
+				select {
+				case e.sem <- struct{}{}:
+					defer func() { <-e.sem }()
+				case <-subCtx.Done():
+					results <- sibling{i, -scoreInf}
+					return
+				}
+			}
+			sub := &searcher{ctx: subCtx, sem: e.sem, table: e.table}
+			v, _ := sub.negamax(m, depth-1, -beta, -a0.Load(), false)
+			e.nodes.Add(sub.nodes.Load())
+			results <- sibling{i, -v}
+		}(i, moves[i])
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	cut := false
+	for r := range results {
+		if cut || e.cancelled() {
+			continue // drain
+		}
+		if r.val > best {
+			best = r.val
+			bestIdx = r.idx
+		}
+		if best > alpha {
+			alpha = best
+			a0.Store(alpha)
+		}
+		if alpha >= beta {
+			cut = true
+			cancel() // abort remaining speculative siblings
+		}
+	}
+	return best, bestIdx
+}
+
+// Play returns the index of the best move at the root, or an error if the
+// position is terminal.
+func Play(ctx context.Context, pos Position, depth, workers int) (int, error) {
+	if len(pos.Moves()) == 0 {
+		return -1, fmt.Errorf("engine: no legal moves")
+	}
+	r, err := SearchParallel(ctx, pos, depth, workers)
+	if err != nil {
+		return -1, err
+	}
+	if r.Best < 0 {
+		return -1, fmt.Errorf("engine: search found no move")
+	}
+	return r.Best, nil
+}
+
+// WinScore is the magnitude used by game implementations for a decided
+// game; heuristic scores must stay strictly below it.
+func WinScore() int32 { return winScore }

@@ -1,0 +1,40 @@
+package engine
+
+import "context"
+
+// MTDF implements Plaat's MTD(f): a sequence of zero-window alpha-beta
+// calls that binary-searches the minimax value, each call re-using the
+// shared transposition table. MTD(f) is the memory-enhanced reformulation
+// of Stockman's SSS* (Plaat et al. 1996), so together with
+// alphabeta.SSS the repository has both faces of the best-first/
+// depth-first equivalence. first is the initial guess (0 is fine; a
+// previous iteration's value converges faster).
+func MTDF(pos Position, depth int, first int32, opt SearchOptions) Result {
+	table := opt.Table
+	if table == nil {
+		table = NewTable(1 << 16)
+	}
+	g := int64(first)
+	lower, upper := -scoreInf, scoreInf
+	var total int64
+	best := -1
+	for lower < upper {
+		beta := g
+		if g == lower {
+			beta = g + 1
+		}
+		e := &searcher{ctx: context.Background(), table: table}
+		v, b := e.negamax(pos, depth, beta-1, beta, true)
+		total += e.nodes.Load()
+		g = v
+		if b >= 0 {
+			best = b
+		}
+		if g < beta {
+			upper = g
+		} else {
+			lower = g
+		}
+	}
+	return Result{Value: int32(g), Best: best, Nodes: total}
+}

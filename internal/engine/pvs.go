@@ -1,0 +1,114 @@
+package engine
+
+import "context"
+
+// This file implements Principal Variation Search (NegaScout), the modern
+// engineering form of Pearl's SCOUT (the paper's reference [7]): the first
+// successor is searched with the full window; each later successor is
+// first *tested* with a null window, and re-searched with the full window
+// only if the test fails high. With good move ordering almost every test
+// succeeds and the search visits close to the Knuth-Moore optimal set.
+
+// SearchPVS evaluates pos to the given depth with principal variation
+// search. It returns the same value as Search. An optional transposition
+// table (opt.Table) accelerates both tests and re-searches.
+func SearchPVS(pos Position, depth int, opt SearchOptions) Result {
+	e := &searcher{ctx: context.Background(), table: opt.Table}
+	v, best := e.pvs(pos, depth, -scoreInf, scoreInf)
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}
+}
+
+func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) {
+	n := e.nodes.Add(1)
+	if n&checkMask == 0 && e.cancelled() {
+		return alpha, -1
+	}
+	if depth == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+	moves := pos.Moves()
+	if len(moves) == 0 {
+		return int64(pos.Evaluate()), -1
+	}
+
+	var hash uint64
+	hashed := false
+	ttBest := -1
+	if e.table != nil {
+		if h, ok := pos.(Hasher); ok {
+			hash, hashed = h.Hash(), true
+			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
+				if tb >= 0 && tb < len(moves) {
+					ttBest = tb
+				}
+				if d >= depth {
+					switch flag {
+					case boundExact:
+						return int64(v), ttBest
+					case boundLower:
+						if int64(v) > alpha {
+							alpha = int64(v)
+						}
+					case boundUpper:
+						if int64(v) < beta {
+							beta = int64(v)
+						}
+					}
+					if alpha >= beta {
+						return int64(v), ttBest
+					}
+				}
+			}
+		}
+	}
+	alpha0 := alpha
+
+	best := int64(-scoreInf)
+	bestIdx := -1
+	for j := 0; j < len(moves); j++ {
+		i := j
+		if ttBest >= 0 {
+			switch {
+			case j == 0:
+				i = ttBest
+			case j <= ttBest:
+				i = j - 1
+			}
+		}
+		var v int64
+		if j == 0 {
+			v2, _ := e.pvs(moves[i], depth-1, -beta, -alpha)
+			v = -v2
+		} else {
+			// Null-window test: is this move better than alpha?
+			v2, _ := e.pvs(moves[i], depth-1, -alpha-1, -alpha)
+			v = -v2
+			if v > alpha && v < beta {
+				// Fail high inside an open window: re-search exactly.
+				v3, _ := e.pvs(moves[i], depth-1, -beta, -v)
+				v = -v3
+			}
+		}
+		if v > best {
+			best = v
+			bestIdx = i
+		}
+		if best > alpha {
+			alpha = best
+		}
+		if alpha >= beta {
+			break
+		}
+	}
+	if hashed && !e.cancelled() {
+		flag := boundExact
+		switch {
+		case best <= alpha0:
+			flag = boundUpper
+		case best >= beta:
+			flag = boundLower
+		}
+		e.table.Store(hash, int32(best), depth, flag, bestIdx)
+	}
+	return best, bestIdx
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPVSMatchesNegamax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		depth := 1 + rng.Intn(6)
+		pos := buildRandomPos(rng, depth, 4)
+		plain := Search(pos, depth)
+		pvs := SearchPVS(pos, depth, SearchOptions{})
+		if pvs.Value != plain.Value {
+			t.Fatalf("trial %d: PVS %d != negamax %d", trial, pvs.Value, plain.Value)
+		}
+	}
+}
+
+func TestPVSWithTableMatchesOnTreeGames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		var next uint64
+		depth := 3 + rng.Intn(3)
+		pos := buildHashed(rng, depth, 3, &next)
+		plain := Search(pos, depth)
+		pvs := SearchPVS(pos, depth, SearchOptions{Table: NewTable(1 << 12)})
+		if pvs.Value != plain.Value {
+			t.Fatalf("trial %d: PVS+TT %d != negamax %d", trial, pvs.Value, plain.Value)
+		}
+	}
+}
+
+// On a position with reasonable move ordering the null-window tests pay:
+// PVS should not blow up the node count relative to plain alpha-beta.
+func TestPVSNodeEconomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var plainTotal, pvsTotal int64
+	for trial := 0; trial < 20; trial++ {
+		depth := 5
+		pos := buildRandomPos(rng, depth, 4)
+		plainTotal += Search(pos, depth).Nodes
+		pvsTotal += SearchPVS(pos, depth, SearchOptions{}).Nodes
+	}
+	if pvsTotal > 2*plainTotal {
+		t.Errorf("PVS visited %d nodes vs plain %d (blow-up)", pvsTotal, plainTotal)
+	}
+}
+
+func TestPVSTerminalAndHorizon(t *testing.T) {
+	leaf := &treePos{val: -4}
+	if r := SearchPVS(leaf, 3, SearchOptions{}); r.Value != -4 || r.Best != -1 {
+		t.Errorf("terminal: %+v", r)
+	}
+	deep := buildRandomPos(rand.New(rand.NewSource(4)), 3, 3)
+	if r := SearchPVS(deep, 0, SearchOptions{}); r.Value != deep.val {
+		t.Errorf("horizon: %+v", r)
+	}
+}

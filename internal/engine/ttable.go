@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hasher is an optional interface for Position: a position that can hash
+// itself enables the transposition table. Hashes must be (with high
+// probability) unique per position and identical for transposed positions
+// that are truly equivalent.
+type Hasher interface {
+	Hash() uint64
+}
+
+// Bound flags for table entries.
+const (
+	boundExact uint64 = iota
+	boundLower
+	boundUpper
+)
+
+// Table is a fixed-size lock-free transposition table shared between
+// goroutines. Each entry is a pair of 64-bit words written atomically
+// with the standard XOR validation trick (key^data, data): a torn
+// read/write is detected by the checksum failing, never returned as a
+// wrong entry. Collisions overwrite (replace-always), which is safe
+// because table hits are advisory.
+type Table struct {
+	words []atomic.Uint64 // 2 per entry
+	mask  uint64
+}
+
+// NewTable allocates a table with at least the given number of entries
+// (rounded up to a power of two). Sizes below 1 panic.
+func NewTable(entries int) *Table {
+	if entries < 1 {
+		panic("engine: table needs at least one entry")
+	}
+	n := 1 << bits.Len(uint(entries-1))
+	return &Table{words: make([]atomic.Uint64, 2*n), mask: uint64(n - 1)}
+}
+
+// pack encodes value, depth, flag and best-move index into one word:
+// [ value:32 | depth:16 | flag:2 | best:14 ].
+func packEntry(value int32, depth int, flag uint64, best int) uint64 {
+	if best < 0 || best >= 1<<14-1 {
+		best = 1<<14 - 1 // sentinel: no move
+	}
+	return uint64(uint32(value))<<32 | uint64(uint16(depth))<<16 | flag<<14 | uint64(best)
+}
+
+func unpackEntry(d uint64) (value int32, depth int, flag uint64, best int) {
+	value = int32(uint32(d >> 32))
+	depth = int(uint16(d >> 16))
+	flag = (d >> 14) & 3
+	best = int(d & (1<<14 - 1))
+	if best == 1<<14-1 {
+		best = -1
+	}
+	return
+}
+
+// Store records a search result for the position with the given hash.
+func (t *Table) Store(hash uint64, value int32, depth int, flag uint64, best int) {
+	if t == nil {
+		return
+	}
+	d := packEntry(value, depth, flag, best)
+	i := (hash & t.mask) * 2
+	t.words[i].Store(hash ^ d)
+	t.words[i+1].Store(d)
+}
+
+// Probe looks the position up. ok is false on a miss (or a torn entry).
+func (t *Table) Probe(hash uint64) (value int32, depth int, flag uint64, best int, ok bool) {
+	if t == nil {
+		return 0, 0, 0, -1, false
+	}
+	i := (hash & t.mask) * 2
+	k := t.words[i].Load()
+	d := t.words[i+1].Load()
+	if k^d != hash {
+		return 0, 0, 0, -1, false
+	}
+	value, depth, flag, best = unpackEntry(d)
+	return value, depth, flag, best, true
+}
+
+// Len returns the capacity in entries.
+func (t *Table) Len() int { return len(t.words) / 2 }

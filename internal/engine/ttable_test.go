@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryPackRoundTrip(t *testing.T) {
+	f := func(value int32, depth uint16, flag uint8, best uint16) bool {
+		fl := uint64(flag % 3)
+		b := int(best % 1000)
+		d := int(depth)
+		v2, d2, f2, b2 := unpackEntry(packEntry(value, d, fl, b))
+		return v2 == value && d2 == d && f2 == fl && b2 == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// The no-move sentinel round-trips to -1.
+	if _, _, _, b := unpackEntry(packEntry(5, 3, boundExact, -1)); b != -1 {
+		t.Errorf("sentinel best = %d", b)
+	}
+}
+
+func TestTableStoreProbe(t *testing.T) {
+	tab := NewTable(1000)
+	if tab.Len() != 1024 {
+		t.Errorf("capacity %d, want 1024", tab.Len())
+	}
+	tab.Store(42, -7, 5, boundLower, 2)
+	v, d, f, b, ok := tab.Probe(42)
+	if !ok || v != -7 || d != 5 || f != boundLower || b != 2 {
+		t.Errorf("probe: %v %v %v %v %v", v, d, f, b, ok)
+	}
+	if _, _, _, _, ok := tab.Probe(43); ok {
+		t.Error("phantom hit")
+	}
+	// Colliding key (same slot, different hash) must not false-hit.
+	tab.Store(42+1024, 9, 1, boundExact, 0)
+	if v, _, _, _, ok := tab.Probe(42); ok && v == -7 {
+		t.Error("stale entry survived overwrite with intact checksum")
+	}
+	if v, _, _, _, ok := tab.Probe(42 + 1024); !ok || v != 9 {
+		t.Error("overwriting entry lost")
+	}
+	var nilTab *Table
+	nilTab.Store(1, 1, 1, boundExact, 0) // must not panic
+	if _, _, _, _, ok := nilTab.Probe(1); ok {
+		t.Error("nil table hit")
+	}
+}
+
+func TestTableConcurrentTornWrites(t *testing.T) {
+	tab := NewTable(4) // tiny: force constant collisions
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				h := rng.Uint64()
+				val := int32(h >> 33)
+				tab.Store(h, val, int(h%64), boundExact, int(h%7))
+				if v, _, _, _, ok := tab.Probe(h); ok && v != val {
+					// A hit must carry the value stored under that
+					// exact hash; the XOR checksum guarantees it.
+					t.Errorf("corrupted read: %d != %d", v, val)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTable(0)
+}
+
+// hashedPos is a tree position with identity hashing for TT tests.
+type hashedPos struct {
+	*treePos
+	id uint64
+}
+
+func buildHashed(rng *rand.Rand, depth, maxKids int, next *uint64) hashedPos {
+	p := buildRandomPos(rng, 0, 1) // leaf shell; we rebuild kids below
+	p.kids = nil
+	p.val = int32(rng.Intn(201) - 100)
+	h := hashedPos{treePos: p, id: *next}
+	*next++
+	if depth == 0 {
+		return h
+	}
+	n := 1 + rng.Intn(maxKids)
+	for i := 0; i < n; i++ {
+		child := buildHashed(rng, depth-1, maxKids, next)
+		p.kids = append(p.kids, child.treePos)
+	}
+	return h
+}
+
+func (h hashedPos) Hash() uint64 { return h.id }
+
+func TestSearchTTMatchesPlain(t *testing.T) {
+	// Trees have no transpositions, so the TT can only help ordering —
+	// values must be identical to the plain search.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var next uint64
+		depth := 2 + rng.Intn(4)
+		pos := buildHashed(rng, depth, 4, &next)
+		plain := Search(pos, depth)
+		tt := SearchTT(pos, depth, SearchOptions{Table: NewTable(1 << 12)})
+		if plain.Value != tt.Value {
+			t.Fatalf("trial %d: plain %d != tt %d", trial, plain.Value, tt.Value)
+		}
+	}
+}
+
+func TestSearchIterativeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		var next uint64
+		depth := 3 + rng.Intn(3)
+		pos := buildHashed(rng, depth, 3, &next)
+		direct := Search(pos, depth)
+		iter, pv, err := SearchIterative(context.Background(), pos, depth, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter.Value != direct.Value {
+			t.Fatalf("trial %d: iterative %d != direct %d", trial, iter.Value, direct.Value)
+		}
+		if len(pv) == 0 || pv[0] != iter.Best {
+			t.Fatalf("trial %d: pv %v does not start with best move %d", trial, pv, iter.Best)
+		}
+		if len(pv) > depth {
+			t.Fatalf("trial %d: pv longer than depth: %v", trial, pv)
+		}
+		// Every PV move must be legal.
+		cur := Position(pos)
+		for i, mv := range pv {
+			moves := cur.Moves()
+			if mv < 0 || mv >= len(moves) {
+				t.Fatalf("trial %d: pv[%d]=%d illegal (%d moves)", trial, i, mv, len(moves))
+			}
+			cur = moves[mv]
+		}
+	}
+}
+
+func TestSearchIterativeCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var next uint64
+	pos := buildHashed(rng, 12, 3, &next)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SearchIterative(ctx, pos, 12, SearchOptions{}); err != ErrCancelled {
+		t.Errorf("want ErrCancelled, got %v", err)
+	}
+}
+
+func TestSearchParallelTTMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		var next uint64
+		depth := 4 + rng.Intn(3)
+		pos := buildHashed(rng, depth, 3, &next)
+		plain := Search(pos, depth)
+		par, err := SearchParallelTT(context.Background(), pos, depth,
+			SearchOptions{Table: NewTable(1 << 12), Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Value != plain.Value {
+			t.Fatalf("trial %d: parallel-tt %d != plain %d", trial, par.Value, plain.Value)
+		}
+	}
+}

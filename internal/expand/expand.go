@@ -1,0 +1,461 @@
+// Package expand implements the node-expansion model of Sections 1 and 5
+// of Karp & Zhang (1989). The algorithm is given only the root of the
+// input tree; applying the node-expansion operation to a node either
+// reveals its leaf value or produces its children. The unit of work is one
+// expansion; a basic step expands a set of nodes simultaneously.
+//
+// The package provides N-Sequential SOLVE and N-Parallel SOLVE of width w
+// for NOR trees, and N-Sequential alpha-beta and N-Parallel alpha-beta of
+// width w for MIN/MAX trees. The simulators operate on a fully
+// materialized tree but only ever inspect nodes that have been generated,
+// so they are faithful to the model.
+package expand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gametree/internal/tree"
+)
+
+// ErrStepLimit is returned when a simulation exceeds its MaxSteps budget.
+var ErrStepLimit = errors.New("expand: step limit exceeded")
+
+// Metrics is the outcome of one node-expansion run.
+type Metrics struct {
+	Value      int32
+	Steps      int64   // basic steps (running time)
+	Work       int64   // total node expansions
+	Processors int     // max expansions in one step
+	DegreeHist []int64 // DegreeHist[k] = steps of parallel degree k
+
+	// Expanded lists expansions in order when Options.RecordNodes is set.
+	Expanded []tree.NodeID
+}
+
+// Options configures a run.
+type Options struct {
+	RecordNodes bool
+	MaxSteps    int64
+}
+
+func (m *Metrics) recordStep(degree int) {
+	m.Steps++
+	m.Work += int64(degree)
+	if degree > m.Processors {
+		m.Processors = degree
+	}
+	for len(m.DegreeHist) <= degree {
+		m.DegreeHist = append(m.DegreeHist, 0)
+	}
+	m.DegreeHist[degree]++
+}
+
+// ---------------------------------------------------------------------------
+// NOR trees
+
+type norState struct {
+	t        *tree.Tree
+	expanded []bool
+	det      []int8 // determined value in T*, -1 unknown
+	zeroKids []int32
+	selected []tree.NodeID
+}
+
+func newNorState(t *tree.Tree) *norState {
+	if t.Kind != tree.NOR {
+		panic("expand: SOLVE algorithms require a NOR tree")
+	}
+	s := &norState{
+		t:        t,
+		expanded: make([]bool, t.Len()),
+		det:      make([]int8, t.Len()),
+		zeroKids: make([]int32, t.Len()),
+	}
+	for i := range s.det {
+		s.det[i] = -1
+	}
+	return s
+}
+
+func (s *norState) determine(v tree.NodeID, b int8) {
+	for v != tree.None {
+		if s.det[v] >= 0 {
+			return
+		}
+		s.det[v] = b
+		p := s.t.Node(v).Parent
+		if p == tree.None {
+			return
+		}
+		if b == 1 {
+			b, v = 0, p
+			continue
+		}
+		s.zeroKids[p]++
+		if s.zeroKids[p] == s.t.Node(p).NumChildren {
+			b, v = 1, p
+			continue
+		}
+		return
+	}
+}
+
+// expand applies the node-expansion operation to v.
+func (s *norState) expand(v tree.NodeID) {
+	s.expanded[v] = true
+	if s.t.IsLeaf(v) {
+		s.determine(v, int8(s.t.LeafValue(v)))
+	}
+	// For internal nodes, expansion generates the children; generation is
+	// implicit (a node is generated iff its parent is expanded).
+}
+
+// collect gathers live frontier nodes (generated = parent expanded, live =
+// no determined ancestor, not yet expanded) with pruning number at most
+// budget, in left-to-right order.
+func (s *norState) collect(v tree.NodeID, budget int) {
+	if !s.expanded[v] {
+		s.selected = append(s.selected, v)
+		return
+	}
+	nd := s.t.Node(v)
+	if nd.NumChildren == 0 {
+		return // expanded leaf: determined, never reached (dead)
+	}
+	live := 0
+	for i := int32(0); i < nd.NumChildren; i++ {
+		c := nd.FirstChild + tree.NodeID(i)
+		if s.det[c] >= 0 {
+			continue
+		}
+		if budget-live < 0 {
+			return
+		}
+		s.collect(c, budget-live)
+		live++
+	}
+}
+
+func (s *norState) run(w int, opt Options) (Metrics, error) {
+	var m Metrics
+	for s.det[0] < 0 {
+		s.selected = s.selected[:0]
+		s.collect(0, w)
+		if len(s.selected) == 0 {
+			return m, fmt.Errorf("expand: no frontier nodes but root undetermined (bug)")
+		}
+		for _, v := range s.selected {
+			s.expand(v)
+		}
+		if opt.RecordNodes {
+			m.Expanded = append(m.Expanded, s.selected...)
+		}
+		m.recordStep(len(s.selected))
+		if opt.MaxSteps > 0 && m.Steps > opt.MaxSteps {
+			return m, ErrStepLimit
+		}
+	}
+	m.Value = int32(s.det[0])
+	return m, nil
+}
+
+// NSequentialSolve runs N-Sequential SOLVE: at each step, expand the
+// leftmost frontier node.
+func NSequentialSolve(t *tree.Tree, opt Options) (Metrics, error) {
+	return NParallelSolve(t, 0, opt)
+}
+
+// NParallelSolve runs N-Parallel SOLVE of width w: at each step, expand
+// all frontier nodes with pruning number at most w. Width 0 is identical
+// to N-Sequential SOLVE (Section 5); width 1 is the algorithm of
+// Theorem 4.
+func NParallelSolve(t *tree.Tree, w int, opt Options) (Metrics, error) {
+	if w < 0 {
+		return Metrics{}, fmt.Errorf("expand: width must be >= 0, got %d", w)
+	}
+	s := newNorState(t)
+	return s.run(w, opt)
+}
+
+// ---------------------------------------------------------------------------
+// MIN/MAX trees
+
+const (
+	negInf = math.MinInt32
+	posInf = math.MaxInt32
+)
+
+type minmaxState struct {
+	t         *tree.Tree
+	expanded  []bool
+	deleted   []bool
+	finished  []bool
+	val       []int32
+	finKids   []int32
+	liveKids  []int32
+	workBelow []int32 // expansions in the subtree, guides the pruning walk
+	selected  []tree.NodeID
+}
+
+func newMinmaxState(t *tree.Tree) *minmaxState {
+	if t.Kind != tree.MinMax {
+		panic("expand: alpha-beta algorithms require a MinMax tree")
+	}
+	s := &minmaxState{
+		t:         t,
+		expanded:  make([]bool, t.Len()),
+		deleted:   make([]bool, t.Len()),
+		finished:  make([]bool, t.Len()),
+		val:       make([]int32, t.Len()),
+		finKids:   make([]int32, t.Len()),
+		liveKids:  make([]int32, t.Len()),
+		workBelow: make([]int32, t.Len()),
+	}
+	for i := range s.liveKids {
+		s.liveKids[i] = t.Node(tree.NodeID(i)).NumChildren
+	}
+	return s
+}
+
+func (s *minmaxState) refreshValue(v tree.NodeID) {
+	nd := s.t.Node(v)
+	first := true
+	var best int32
+	for i := int32(0); i < nd.NumChildren; i++ {
+		c := nd.FirstChild + tree.NodeID(i)
+		if s.deleted[c] || !s.finished[c] {
+			continue
+		}
+		cv := s.val[c]
+		if first {
+			best, first = cv, false
+			continue
+		}
+		if s.t.IsMaxNode(v) == (cv > best) {
+			best = cv
+		}
+	}
+	if first {
+		panic("expand: refreshValue with no finished children")
+	}
+	s.val[v] = best
+}
+
+func (s *minmaxState) maybeFinish(p tree.NodeID) {
+	for p != tree.None && s.expanded[p] && !s.finished[p] && s.liveKids[p] > 0 && s.finKids[p] == s.liveKids[p] {
+		s.refreshValue(p)
+		s.finished[p] = true
+		q := s.t.Node(p).Parent
+		if q != tree.None {
+			s.finKids[q]++
+		}
+		p = q
+	}
+}
+
+func (s *minmaxState) expand(v tree.NodeID) {
+	s.expanded[v] = true
+	if s.t.IsLeaf(v) {
+		s.finished[v] = true
+		s.val[v] = s.t.LeafValue(v)
+		if p := s.t.Node(v).Parent; p != tree.None {
+			s.finKids[p]++
+			s.maybeFinish(p)
+		}
+	}
+	for x := v; x != tree.None; x = s.t.Node(x).Parent {
+		s.workBelow[x]++
+	}
+}
+
+func (s *minmaxState) deleteSubtree(v tree.NodeID) {
+	s.deleted[v] = true
+	p := s.t.Node(v).Parent
+	if p == tree.None {
+		return
+	}
+	s.liveKids[p]--
+	if s.finished[v] {
+		s.finKids[p]--
+	}
+	s.maybeFinish(p)
+}
+
+func (s *minmaxState) prunePass() bool {
+	pruned := false
+	var walk func(v tree.NodeID, alpha, beta int64)
+	walk = func(v tree.NodeID, alpha, beta int64) {
+		if !s.expanded[v] {
+			return
+		}
+		nd := s.t.Node(v)
+		if nd.NumChildren == 0 {
+			return
+		}
+		isMax := s.t.IsMaxNode(v)
+		contrib := int64(negInf)
+		if !isMax {
+			contrib = int64(posInf)
+		}
+		have := false
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			if s.deleted[c] || !s.finished[c] {
+				continue
+			}
+			cv := int64(s.val[c])
+			if isMax == (cv > contrib) {
+				contrib = cv
+			}
+			have = true
+		}
+		ca, cb := alpha, beta
+		if have {
+			if isMax {
+				if contrib > ca {
+					ca = contrib
+				}
+			} else if contrib < cb {
+				cb = contrib
+			}
+		}
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			if s.deleted[c] || s.finished[c] {
+				continue
+			}
+			if ca >= cb {
+				s.deleteSubtree(c)
+				pruned = true
+				continue
+			}
+			if s.workBelow[c] > 0 {
+				walk(c, ca, cb)
+			}
+		}
+	}
+	if !s.finished[0] {
+		walk(0, int64(negInf), int64(posInf))
+	}
+	return pruned
+}
+
+// collect gathers non-deleted, unexpanded nodes of the pruned generated
+// tree with pruning number at most budget (counting unfinished
+// left-siblings of ancestors).
+func (s *minmaxState) collect(v tree.NodeID, budget int) {
+	if !s.expanded[v] {
+		s.selected = append(s.selected, v)
+		return
+	}
+	nd := s.t.Node(v)
+	unfinished := 0
+	for i := int32(0); i < nd.NumChildren; i++ {
+		c := nd.FirstChild + tree.NodeID(i)
+		if s.deleted[c] || s.finished[c] {
+			continue
+		}
+		if budget-unfinished < 0 {
+			return
+		}
+		s.collect(c, budget-unfinished)
+		unfinished++
+	}
+}
+
+func (s *minmaxState) run(w int, opt Options) (Metrics, error) {
+	var m Metrics
+	for !s.finished[0] {
+		s.selected = s.selected[:0]
+		s.collect(0, w)
+		if len(s.selected) == 0 {
+			return m, fmt.Errorf("expand: no frontier nodes but root unfinished (bug)")
+		}
+		for _, v := range s.selected {
+			s.expand(v)
+		}
+		if opt.RecordNodes {
+			m.Expanded = append(m.Expanded, s.selected...)
+		}
+		m.recordStep(len(s.selected))
+		for s.prunePass() {
+		}
+		if opt.MaxSteps > 0 && m.Steps > opt.MaxSteps {
+			return m, ErrStepLimit
+		}
+	}
+	m.Value = s.val[0]
+	return m, nil
+}
+
+// NSequentialAlphaBeta runs the node-expansion version of the sequential
+// alpha-beta pruning procedure: expand the leftmost unexpanded node of the
+// pruned generated tree.
+func NSequentialAlphaBeta(t *tree.Tree, opt Options) (Metrics, error) {
+	return NParallelAlphaBeta(t, 0, opt)
+}
+
+// NParallelAlphaBeta runs the node-expansion version of Parallel
+// alpha-beta of width w (Section 5 notes the conversion; Theorem 3's
+// speedup carries over).
+func NParallelAlphaBeta(t *tree.Tree, w int, opt Options) (Metrics, error) {
+	if w < 0 {
+		return Metrics{}, fmt.Errorf("expand: width must be >= 0, got %d", w)
+	}
+	s := newMinmaxState(t)
+	return s.run(w, opt)
+}
+
+// collectLeftmost gathers the leftmost `limit` live frontier nodes (the
+// step of N-Team SOLVE).
+func (s *norState) collectLeftmost(v tree.NodeID, limit int) {
+	if len(s.selected) >= limit {
+		return
+	}
+	if !s.expanded[v] {
+		s.selected = append(s.selected, v)
+		return
+	}
+	nd := s.t.Node(v)
+	for i := int32(0); i < nd.NumChildren; i++ {
+		c := nd.FirstChild + tree.NodeID(i)
+		if s.det[c] >= 0 {
+			continue
+		}
+		s.collectLeftmost(c, limit)
+		if len(s.selected) >= limit {
+			return
+		}
+	}
+}
+
+// NTeamSolve runs the node-expansion Team SOLVE: at each step, expand the
+// leftmost p live frontier nodes. With p=1 it is N-Sequential SOLVE.
+func NTeamSolve(t *tree.Tree, p int, opt Options) (Metrics, error) {
+	if p < 1 {
+		return Metrics{}, fmt.Errorf("expand: NTeamSolve requires p >= 1, got %d", p)
+	}
+	s := newNorState(t)
+	var m Metrics
+	for s.det[0] < 0 {
+		s.selected = s.selected[:0]
+		s.collectLeftmost(0, p)
+		if len(s.selected) == 0 {
+			return m, fmt.Errorf("expand: no frontier nodes but root undetermined (bug)")
+		}
+		for _, v := range s.selected {
+			s.expand(v)
+		}
+		if opt.RecordNodes {
+			m.Expanded = append(m.Expanded, s.selected...)
+		}
+		m.recordStep(len(s.selected))
+		if opt.MaxSteps > 0 && m.Steps > opt.MaxSteps {
+			return m, ErrStepLimit
+		}
+	}
+	m.Value = int32(s.det[0])
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strconv"
+
+	"gametree/internal/bounds"
+	"gametree/internal/core"
+	"gametree/internal/stats"
+	"gametree/internal/tree"
+)
+
+// E6ParallelAlphaBeta — Theorem 3: on every instance of M(d,n), Parallel
+// alpha-beta of width 1 achieves S~(T)/P~(T) >= c(n+1) with n+1
+// processors.
+func E6ParallelAlphaBeta(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	type family struct {
+		d    int
+		kind string
+		maxN int
+	}
+	fams := []family{
+		{2, "iid", cfg.pick(12, 6)},
+		{2, "worst-ordered", cfg.pick(11, 6)},
+		{2, "best-ordered", cfg.pick(12, 6)},
+		{3, "iid", cfg.pick(8, 5)},
+	}
+	minMaxInstance := func(kind string, d, n int, seed int64) *tree.Tree {
+		switch kind {
+		case "iid":
+			return tree.IIDMinMax(d, n, -1_000_000, 1_000_000, seed)
+		case "worst-ordered":
+			return tree.WorstOrderedMinMax(d, n, seed)
+		case "best-ordered":
+			return tree.BestOrderedMinMax(d, n, seed)
+		default:
+			panic("experiments: unknown MinMax instance kind " + kind)
+		}
+	}
+	for _, f := range fams {
+		tb := stats.NewTable("E6 Parallel alpha-beta width 1 on M("+strconv.Itoa(f.d)+",n) "+f.kind,
+			"n", "S~(T)", "P~(T)", "speedup", "procs", "c=speedup/(n+1)")
+		minC := 1e18
+		for n := 4; n <= f.maxN; n += 2 {
+			trials := cfg.trials(4)
+			if f.kind != "iid" {
+				trials = 1
+			}
+			var sSum, pSum, procMax float64
+			for i := 0; i < trials; i++ {
+				tr := minMaxInstance(f.kind, f.d, n, cfg.seed()+int64(i*37))
+				seq := mustAB(tr, 0, core.Options{})
+				par := mustAB(tr, 1, core.Options{})
+				sSum += float64(seq.Steps)
+				pSum += float64(par.Steps)
+				if float64(par.Processors) > procMax {
+					procMax = float64(par.Processors)
+				}
+			}
+			speedup := sSum / pSum
+			c := speedup / float64(n+1)
+			if c < minC {
+				minC = c
+			}
+			tb.AddRow(n, sSum/float64(trials), pSum/float64(trials), speedup, procMax, c)
+		}
+		tb.AddNote("min measured c over the sweep: %.3f (Theorem 3)", minC)
+		if f.kind == "best-ordered" {
+			tb.AddNote("best-ordered S~ equals the Knuth-Moore optimum d^ceil(n/2)+d^floor(n/2)-1; e.g. n=%d: %s",
+				f.maxN, bounds.KnuthMoore(f.d, f.maxN).String())
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}

@@ -1,0 +1,120 @@
+package games
+
+import (
+	"strings"
+
+	"gametree/internal/engine"
+)
+
+// Domineering is the classic combinatorial game: two players alternately
+// place dominoes on a grid, Vertical covering two vertically adjacent
+// cells and Horizontal two horizontally adjacent cells; the first player
+// unable to move loses. Small boards have known game-theoretic outcomes
+// (e.g. the 2x2, 3x3 and 4x4 boards are first-player wins for Vertical),
+// which makes Domineering another closed-form oracle for the engine, with
+// a very different branching structure from Nim or Connect-4.
+type Domineering struct {
+	W, H     int
+	Occupied []bool
+	// VerticalToMove: Vertical places vertical dominoes, Horizontal
+	// horizontal ones. Vertical moves first by convention.
+	VerticalToMove bool
+}
+
+// NewDomineering returns the empty w-by-h board with Vertical to move.
+func NewDomineering(w, h int) *Domineering {
+	if w < 1 || h < 1 {
+		panic("games: NewDomineering requires positive dimensions")
+	}
+	return &Domineering{W: w, H: h, Occupied: make([]bool, w*h), VerticalToMove: true}
+}
+
+func (p *Domineering) at(c, r int) bool { return p.Occupied[r*p.W+c] }
+
+// place returns the position after covering the two given cells.
+func (p *Domineering) place(a, b int) *Domineering {
+	q := &Domineering{
+		W: p.W, H: p.H,
+		Occupied:       append([]bool(nil), p.Occupied...),
+		VerticalToMove: !p.VerticalToMove,
+	}
+	q.Occupied[a] = true
+	q.Occupied[b] = true
+	return q
+}
+
+// Moves returns every legal domino placement for the side to move.
+func (p *Domineering) Moves() []engine.Position {
+	var out []engine.Position
+	if p.VerticalToMove {
+		for r := 0; r+1 < p.H; r++ {
+			for c := 0; c < p.W; c++ {
+				if !p.at(c, r) && !p.at(c, r+1) {
+					out = append(out, p.place(r*p.W+c, (r+1)*p.W+c))
+				}
+			}
+		}
+		return out
+	}
+	for r := 0; r < p.H; r++ {
+		for c := 0; c+1 < p.W; c++ {
+			if !p.at(c, r) && !p.at(c+1, r) {
+				out = append(out, p.place(r*p.W+c, r*p.W+c+1))
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate: a player with no moves has lost. Non-terminal positions score
+// by mobility difference (own moves minus opponent's), a standard
+// Domineering heuristic.
+func (p *Domineering) Evaluate() int32 {
+	mine := int32(len(p.Moves()))
+	if mine == 0 {
+		return -engine.WinScore()
+	}
+	opp := &Domineering{W: p.W, H: p.H, Occupied: p.Occupied, VerticalToMove: !p.VerticalToMove}
+	return mine - int32(len(opp.Moves()))
+}
+
+// MaxMoves bounds the game length (each move covers two cells).
+func (p *Domineering) MaxMoves() int { return p.W * p.H / 2 }
+
+// Hash returns a position hash (FNV-1a over cells and mover).
+func (p *Domineering) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, o := range p.Occupied {
+		x := uint64(0)
+		if o {
+			x = 1
+		}
+		h ^= x
+		h *= 1099511628211
+	}
+	if p.VerticalToMove {
+		h ^= 2
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (p *Domineering) String() string {
+	var b strings.Builder
+	for r := 0; r < p.H; r++ {
+		for c := 0; c < p.W; c++ {
+			if p.at(c, r) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		if r+1 < p.H {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+var _ engine.Position = (*Domineering)(nil)
+var _ engine.Hasher = (*Domineering)(nil)

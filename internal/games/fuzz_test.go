@@ -1,0 +1,31 @@
+package games
+
+import "testing"
+
+// FuzzParseTTT: the board parser must never panic and must only accept
+// 9-cell boards with plausible piece counts.
+func FuzzParseTTT(f *testing.F) {
+	for _, seed := range []string{"XOX.O..X.", ".........", "XXXXXXXXX", "", "XO"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseTTT(s)
+		if err != nil {
+			return
+		}
+		var x, o int
+		for _, c := range p.Cells {
+			switch c {
+			case 1:
+				x++
+			case 2:
+				o++
+			}
+		}
+		if o > x || x > o+1 {
+			t.Fatalf("accepted impossible counts X=%d O=%d from %q", x, o, s)
+		}
+		_ = p.Moves()
+		_ = p.Evaluate()
+	})
+}

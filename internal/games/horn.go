@@ -1,0 +1,253 @@
+package games
+
+import (
+	"fmt"
+	"sort"
+
+	"gametree/internal/tree"
+)
+
+// This file implements the theorem-proving motivation from Section 1 of
+// the paper: "The evaluation problem for AND/OR trees is closely related
+// to the problem of efficiently executing theorem-proving algorithms for
+// the propositional calculus based on backward-chaining deduction."
+//
+// A Horn knowledge base maps a goal to the AND/OR tree of its backward-
+// chaining proof search: the goal is an OR over the rules that conclude
+// it; a rule is an AND over its premises. That AND/OR tree converts to the
+// paper's NOR normal form (complementing leaves at even depth and the root
+// value), and all the SOLVE algorithms apply to it.
+
+// Rule is a definite Horn clause: Head :- Body[0], ..., Body[k-1].
+// An empty Body makes Head a fact.
+type Rule struct {
+	Head string
+	Body []string
+}
+
+// KB is a propositional Horn knowledge base.
+type KB struct {
+	rules map[string][]Rule
+}
+
+// NewKB builds a knowledge base from rules. It rejects cyclic dependency
+// graphs, since backward chaining over a cyclic KB yields an infinite
+// AND/OR tree.
+func NewKB(rules []Rule) (*KB, error) {
+	kb := &KB{rules: make(map[string][]Rule)}
+	for _, r := range rules {
+		if r.Head == "" {
+			return nil, fmt.Errorf("games: rule with empty head")
+		}
+		kb.rules[r.Head] = append(kb.rules[r.Head], r)
+	}
+	if cyc := kb.findCycle(); cyc != "" {
+		return nil, fmt.Errorf("games: cyclic knowledge base through %q", cyc)
+	}
+	return kb, nil
+}
+
+func (kb *KB) findCycle() string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(g string) string
+	visit = func(g string) string {
+		color[g] = gray
+		for _, r := range kb.rules[g] {
+			for _, p := range r.Body {
+				switch color[p] {
+				case gray:
+					return p
+				case white:
+					if c := visit(p); c != "" {
+						return c
+					}
+				}
+			}
+		}
+		color[g] = black
+		return ""
+	}
+	heads := make([]string, 0, len(kb.rules))
+	for h := range kb.rules {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
+	for _, h := range heads {
+		if color[h] == white {
+			if c := visit(h); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+// Provable reports whether goal follows from the KB, by direct recursive
+// backward chaining. It is the oracle for the tree-based proofs.
+func (kb *KB) Provable(goal string) bool {
+	var prove func(g string) bool
+	prove = func(g string) bool {
+		for _, r := range kb.rules[g] {
+			ok := true
+			for _, p := range r.Body {
+				if !prove(p) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return prove(goal)
+}
+
+// ProofTree builds the backward-chaining search space for goal as a NOR
+// tree; evaluating the NOR tree and complementing the root (the root is at
+// even depth) decides provability. ProofSize limits the number of nodes to
+// protect against blow-up; 0 means one million.
+func (kb *KB) ProofTree(goal string, maxNodes int) (*tree.Tree, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1_000_000
+	}
+	b := tree.NewBuilder(tree.NOR)
+	n := 0
+	// The AND/OR value of a leaf, complemented iff the leaf sits at even
+	// depth, per the NOR-equivalence of Section 2 (the leaf's AND/OR
+	// value g becomes the NOR leaf value g XOR [depth even]).
+	leafVal := func(depth int, val bool) int32 {
+		if depth%2 == 0 {
+			val = !val
+		}
+		if val {
+			return 1
+		}
+		return 0
+	}
+	var grow func(dst tree.NodeID, g string, depth int) error
+	// grow builds the OR node for goal g at dst.
+	grow = func(dst tree.NodeID, g string, depth int) error {
+		if n++; n > maxNodes {
+			return fmt.Errorf("games: proof tree for %q exceeds %d nodes", goal, maxNodes)
+		}
+		rules := kb.rules[g]
+		if len(rules) == 0 {
+			// Unprovable atom: OR of nothing = false.
+			b.SetLeafValue(dst, leafVal(depth, false))
+			return nil
+		}
+		// Facts (empty-body rules) make the goal immediately true.
+		for _, r := range rules {
+			if len(r.Body) == 0 {
+				b.SetLeafValue(dst, leafVal(depth, true))
+				return nil
+			}
+		}
+		first := b.AddChildren(dst, len(rules))
+		for i, r := range rules {
+			and := first + tree.NodeID(i)
+			if n++; n > maxNodes {
+				return fmt.Errorf("games: proof tree for %q exceeds %d nodes", goal, maxNodes)
+			}
+			// AND node over the premises.
+			pfirst := b.AddChildren(and, len(r.Body))
+			for j, prem := range r.Body {
+				if err := grow(pfirst+tree.NodeID(j), prem, depth+2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := grow(b.Root(), goal, 0); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// ProvableByTree decides provability by building the NOR tree and
+// evaluating it: goal provable iff the NOR root evaluates to 0 (the root's
+// AND/OR value is the complement of the NOR value at even depth).
+func (kb *KB) ProvableByTree(goal string) (bool, error) {
+	t, err := kb.ProofTree(goal, 0)
+	if err != nil {
+		return false, err
+	}
+	return t.Evaluate() == 0, nil
+}
+
+// Atoms returns the sorted atoms mentioned anywhere in the KB.
+func (kb *KB) Atoms() []string {
+	set := map[string]bool{}
+	for h, rs := range kb.rules {
+		set[h] = true
+		for _, r := range rs {
+			for _, p := range r.Body {
+				set[p] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LayeredKB generates a synthetic layered knowledge base for benchmarks:
+// layers levels of atoms, each atom concluded by rulesPer rules whose
+// bodies reference bodyLen atoms of the next layer down; the bottom layer
+// atoms are facts with probability factBias (deterministically from seed).
+// The proof search space for the top atom is a uniform-ish AND/OR tree —
+// exactly the workload the paper's intro motivates.
+func LayeredKB(layers, atomsPer, rulesPer, bodyLen int, factBias float64, seed int64) (*KB, string) {
+	if layers < 1 || atomsPer < 1 || rulesPer < 1 || bodyLen < 1 {
+		panic("games: LayeredKB parameters must be positive")
+	}
+	name := func(layer, i int) string { return fmt.Sprintf("a%d_%d", layer, i%atomsPer) }
+	rng := newSplitMix(uint64(seed))
+	var rules []Rule
+	for l := 0; l < layers; l++ {
+		for i := 0; i < atomsPer; i++ {
+			for r := 0; r < rulesPer; r++ {
+				body := make([]string, bodyLen)
+				for j := range body {
+					body[j] = name(l+1, int(rng.next()%uint64(atomsPer)))
+				}
+				rules = append(rules, Rule{Head: name(l, i), Body: body})
+			}
+		}
+	}
+	for i := 0; i < atomsPer; i++ {
+		if float64(rng.next()%1000)/1000 < factBias {
+			rules = append(rules, Rule{Head: name(layers, i)})
+		}
+	}
+	kb, err := NewKB(rules)
+	if err != nil {
+		panic("games: LayeredKB built a cyclic KB (bug): " + err.Error())
+	}
+	return kb, name(0, 0)
+}
+
+// splitMix is a tiny deterministic RNG so LayeredKB does not depend on
+// math/rand ordering guarantees.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,143 @@
+package games
+
+import (
+	"fmt"
+	"sort"
+
+	"gametree/internal/engine"
+)
+
+// Kayles is the classic octal game 0.77: a row of pins; a move knocks
+// down one pin or two adjacent pins, possibly splitting a row into two
+// independent rows; the player who cannot move loses. Its Sprague-Grundy
+// values are famously eventually periodic with period 12, giving an exact
+// closed-form oracle for the engine on yet another move structure
+// (splitting positions into independent components).
+type Kayles struct {
+	Rows []int // lengths of the remaining independent rows
+}
+
+// NewKayles returns a position with the given row lengths.
+func NewKayles(rows ...int) Kayles {
+	for _, r := range rows {
+		if r < 0 {
+			panic("games: negative Kayles row")
+		}
+	}
+	return Kayles{Rows: append([]int(nil), rows...)}
+}
+
+// kaylesGrundyTable holds the Grundy values for rows 0..83; from 71 on the
+// sequence is purely periodic with period 12:
+// 4 1 2 8 1 4 7 2 1 8 2 7.
+var kaylesGrundyTable = []int{
+	0, 1, 2, 3, 1, 4, 3, 2, 1, 4, 2, 6,
+	4, 1, 2, 7, 1, 4, 3, 2, 1, 4, 6, 7,
+	4, 1, 2, 8, 5, 4, 7, 2, 1, 8, 6, 7,
+	4, 1, 2, 3, 1, 4, 7, 2, 1, 8, 2, 7,
+	4, 1, 2, 8, 1, 4, 7, 2, 1, 4, 2, 7,
+	4, 1, 2, 8, 1, 4, 7, 2, 1, 8, 6, 7,
+	4, 1, 2, 8, 1, 4, 7, 2, 1, 8, 2, 7,
+}
+
+// KaylesGrundy returns the Grundy value of a single row of length n.
+func KaylesGrundy(n int) int {
+	if n < 0 {
+		panic("games: negative row")
+	}
+	if n < len(kaylesGrundyTable) {
+		return kaylesGrundyTable[n]
+	}
+	// Purely periodic with period 12 beyond the table.
+	return kaylesGrundyTable[71+(n-71)%12]
+}
+
+// GrundyValue returns the nim-sum of the row Grundy values; the side to
+// move wins under perfect play iff it is non-zero.
+func (p Kayles) GrundyValue() int {
+	g := 0
+	for _, r := range p.Rows {
+		g ^= KaylesGrundy(r)
+	}
+	return g
+}
+
+// Moves returns every position reachable by removing one pin or two
+// adjacent pins from one row (splitting it into the two remaining parts).
+func (p Kayles) Moves() []engine.Position {
+	var out []engine.Position
+	emit := func(rowIdx, left, right int) {
+		q := Kayles{Rows: make([]int, 0, len(p.Rows)+1)}
+		for j, r := range p.Rows {
+			if j == rowIdx {
+				continue
+			}
+			q.Rows = append(q.Rows, r)
+		}
+		if left > 0 {
+			q.Rows = append(q.Rows, left)
+		}
+		if right > 0 {
+			q.Rows = append(q.Rows, right)
+		}
+		out = append(out, q)
+	}
+	for i, r := range p.Rows {
+		for take := 1; take <= 2 && take <= r; take++ {
+			// Removing `take` pins starting at offset o splits the row
+			// into o and r-o-take. Offsets o and r-o-take produce
+			// mirror-duplicate positions; generating all is simplest
+			// and still correct.
+			for o := 0; o+take <= r; o++ {
+				emit(i, o, r-o-take)
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate: the side to move with no pins left has lost.
+func (p Kayles) Evaluate() int32 {
+	for _, r := range p.Rows {
+		if r > 0 {
+			return 0
+		}
+	}
+	return -engine.WinScore()
+}
+
+// TotalPins bounds the remaining game length.
+func (p Kayles) TotalPins() int {
+	n := 0
+	for _, r := range p.Rows {
+		n += r
+	}
+	return n
+}
+
+// Hash returns a canonical position hash (rows sorted: row order is
+// irrelevant to the game value).
+func (p Kayles) Hash() uint64 {
+	s := append([]int(nil), p.Rows...)
+	sort.Ints(s)
+	h := uint64(1469598103934665603)
+	for _, r := range s {
+		if r == 0 {
+			continue
+		}
+		h ^= uint64(r)
+		h *= 1099511628211
+		h ^= 0xaa
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (p Kayles) String() string {
+	s := append([]int(nil), p.Rows...)
+	sort.Ints(s)
+	return fmt.Sprintf("kayles%v", s)
+}
+
+var _ engine.Position = Kayles{}
+var _ engine.Hasher = Kayles{}

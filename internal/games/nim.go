@@ -1,0 +1,93 @@
+package games
+
+import (
+	"fmt"
+	"sort"
+
+	"gametree/internal/engine"
+)
+
+// Nim is a normal-play Nim position: the player who takes the last object
+// wins (a player facing all-empty heaps has lost). Its game value is known
+// in closed form (the Sprague–Grundy xor rule), which makes it the perfect
+// correctness oracle for the search engine.
+type Nim struct {
+	Heaps []int
+}
+
+// NewNim returns a Nim position with the given heaps. Negative heap sizes
+// panic.
+func NewNim(heaps ...int) Nim {
+	for _, h := range heaps {
+		if h < 0 {
+			panic("games: negative Nim heap")
+		}
+	}
+	return Nim{Heaps: append([]int(nil), heaps...)}
+}
+
+// XorValue returns the nim-sum. The side to move wins under perfect play
+// iff it is non-zero.
+func (p Nim) XorValue() int {
+	x := 0
+	for _, h := range p.Heaps {
+		x ^= h
+	}
+	return x
+}
+
+// Moves returns every position reachable by removing 1..h objects from a
+// single heap.
+func (p Nim) Moves() []engine.Position {
+	var out []engine.Position
+	for i, h := range p.Heaps {
+		for take := 1; take <= h; take++ {
+			q := Nim{Heaps: append([]int(nil), p.Heaps...)}
+			q.Heaps[i] -= take
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Evaluate returns the terminal score: all heaps empty means the side to
+// move lost (the opponent took the last object).
+func (p Nim) Evaluate() int32 {
+	for _, h := range p.Heaps {
+		if h > 0 {
+			return 0 // non-terminal; only reached at a depth horizon
+		}
+	}
+	return -engine.WinScore()
+}
+
+// TotalObjects returns the number of objects left (an upper bound on the
+// remaining game length, hence a sufficient search depth).
+func (p Nim) TotalObjects() int {
+	n := 0
+	for _, h := range p.Heaps {
+		n += h
+	}
+	return n
+}
+
+func (p Nim) String() string {
+	s := append([]int(nil), p.Heaps...)
+	sort.Ints(s)
+	return fmt.Sprintf("nim%v", s)
+}
+
+var _ engine.Position = Nim{}
+
+// Hash returns a position hash (FNV-1a over the heap sizes in order),
+// enabling the engine's transposition table.
+func (p Nim) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, heap := range p.Heaps {
+		h ^= uint64(heap)
+		h *= 1099511628211
+		h ^= 0xff // separator so (1,12) and (11,2) differ
+		h *= 1099511628211
+	}
+	return h
+}

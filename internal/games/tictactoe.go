@@ -1,0 +1,151 @@
+// Package games provides concrete game substrates for the engine and the
+// examples: tic-tac-toe, Connect-4 on a parametric board, Nim (whose
+// game-theoretic value is known in closed form, making it a correctness
+// oracle for the search engine), and a Horn-clause backward-chaining
+// prover whose proof search is exactly the AND/OR-tree evaluation problem
+// that motivates the paper.
+package games
+
+import (
+	"fmt"
+	"strings"
+
+	"gametree/internal/engine"
+)
+
+// TTT is a tic-tac-toe position. The zero value is the empty board with X
+// to move. Cells hold 0 (empty), 1 (X) or 2 (O).
+type TTT struct {
+	Cells  [9]int8
+	ToMove int8 // 1 or 2; 0 means 1 (zero value usable)
+}
+
+func (p TTT) mover() int8 {
+	if p.ToMove == 0 {
+		return 1
+	}
+	return p.ToMove
+}
+
+var tttLines = [8][3]int{
+	{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, // rows
+	{0, 3, 6}, {1, 4, 7}, {2, 5, 8}, // columns
+	{0, 4, 8}, {2, 4, 6}, // diagonals
+}
+
+// Winner returns 1 or 2 if that player has three in a row, else 0.
+func (p TTT) Winner() int8 {
+	for _, l := range tttLines {
+		if c := p.Cells[l[0]]; c != 0 && c == p.Cells[l[1]] && c == p.Cells[l[2]] {
+			return c
+		}
+	}
+	return 0
+}
+
+// Moves returns the successor positions (engine.Position).
+func (p TTT) Moves() []engine.Position {
+	if p.Winner() != 0 {
+		return nil
+	}
+	me := p.mover()
+	var out []engine.Position
+	for i, c := range p.Cells {
+		if c != 0 {
+			continue
+		}
+		q := p
+		q.Cells[i] = me
+		q.ToMove = 3 - me
+		out = append(out, q)
+	}
+	return out
+}
+
+// Evaluate scores the position for the side to move: a lost position (the
+// opponent just completed a line) scores -WinScore, a draw 0.
+func (p TTT) Evaluate() int32 {
+	if w := p.Winner(); w != 0 {
+		if w == p.mover() {
+			return engine.WinScore() // cannot occur in legal play
+		}
+		return -engine.WinScore()
+	}
+	return 0
+}
+
+// MoveCell returns the cell index that turns p into q (both must be legal
+// consecutive positions).
+func (p TTT) MoveCell(q TTT) int {
+	for i := range p.Cells {
+		if p.Cells[i] != q.Cells[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p TTT) String() string {
+	sym := [...]string{".", "X", "O"}
+	var b strings.Builder
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			b.WriteString(sym[p.Cells[3*r+c]])
+		}
+		if r < 2 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ParseTTT parses a 9-character board like "XOX.O..X." with X to move
+// inferred from the piece counts.
+func ParseTTT(s string) (TTT, error) {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case 'X', 'O', '.', 'x', 'o':
+			return r
+		}
+		return -1
+	}, s)
+	if len(clean) != 9 {
+		return TTT{}, fmt.Errorf("games: board needs 9 cells, got %d", len(clean))
+	}
+	var p TTT
+	var x, o int
+	for i, r := range clean {
+		switch r {
+		case 'X', 'x':
+			p.Cells[i] = 1
+			x++
+		case 'O', 'o':
+			p.Cells[i] = 2
+			o++
+		}
+	}
+	if o > x || x > o+1 {
+		return TTT{}, fmt.Errorf("games: impossible piece counts X=%d O=%d", x, o)
+	}
+	if x == o {
+		p.ToMove = 1
+	} else {
+		p.ToMove = 2
+	}
+	return p, nil
+}
+
+var _ engine.Position = TTT{}
+
+// Hash returns a position hash (FNV-1a over the cells and mover),
+// enabling the engine's transposition table.
+func (p TTT) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range p.Cells {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= uint64(p.mover())
+	h *= 1099511628211
+	return h
+}

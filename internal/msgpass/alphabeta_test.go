@@ -1,0 +1,203 @@
+package msgpass
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gametree/internal/alphabeta"
+	"gametree/internal/tree"
+)
+
+func TestABCorrectValueRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(9)
+		tr := tree.IIDMinMax(2, n, -1000, 1000, rng.Int63())
+		want := tr.Evaluate()
+		m, err := EvaluateAlphaBeta(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != want {
+			t.Fatalf("trial %d (n=%d): got %d, want %d", trial, n, m.Value, want)
+		}
+	}
+}
+
+func TestABOrderedAndAdversarialTrees(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for _, gen := range []func(int, int, int64) *tree.Tree{
+			tree.BestOrderedMinMax, tree.WorstOrderedMinMax,
+		} {
+			tr := gen(2, n, int64(n))
+			want := tr.Evaluate()
+			m, err := EvaluateAlphaBeta(tr, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Value != want {
+				t.Fatalf("n=%d: got %d, want %d", n, m.Value, want)
+			}
+		}
+	}
+}
+
+func TestABZones(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		tr := tree.IIDMinMax(2, n, -50, 50, rng.Int63())
+		want := tr.Evaluate()
+		for _, procs := range []int{1, 2, 3, n + 1} {
+			m, err := EvaluateAlphaBeta(tr, Options{Processors: procs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Value != want {
+				t.Fatalf("trial %d procs=%d: got %d, want %d", trial, procs, m.Value, want)
+			}
+		}
+	}
+}
+
+// Boolean MIN/MAX trees are AND/OR trees; the alpha-beta machine must
+// agree with the SOLVE machine through the NOR equivalence.
+func TestABAgreesWithSolveMachineOnBooleanTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		nor := tree.IIDNor(2, 1+rng.Intn(7), 0.618, rng.Int63())
+		ao := tree.NORToAndOr(nor)
+		mAB, err := EvaluateAlphaBeta(ao, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mSolve, err := Evaluate(nor, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mAB.Value != 1-mSolve.Value {
+			t.Fatalf("trial %d: AB machine %d, SOLVE machine %d (should be complements)",
+				trial, mAB.Value, mSolve.Value)
+		}
+	}
+}
+
+// The machine's total expansions must stay within a small constant of the
+// classical sequential alpha-beta leaf count plus internal nodes — the
+// speculation is bounded, as in the SOLVE machine.
+func TestABWorkBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(5)
+		tr := tree.IIDMinMax(2, n, -100, 100, rng.Int63())
+		ref := alphabeta.AlphaBeta(tr)
+		m, err := EvaluateAlphaBeta(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Internal expansions at most ~2x leaves in a binary tree, plus
+		// speculative overshoot; allow a generous constant.
+		if m.Expansions > 8*ref.Leaves+64 {
+			t.Errorf("trial %d (n=%d): %d expansions vs %d sequential leaves",
+				trial, n, m.Expansions, ref.Leaves)
+		}
+	}
+}
+
+func TestABRejectsBadInput(t *testing.T) {
+	if _, err := EvaluateAlphaBeta(tree.IIDNor(2, 3, 0.5, 1), Options{}); err == nil {
+		t.Error("NOR tree accepted")
+	}
+	if _, err := EvaluateAlphaBeta(tree.IIDMinMax(3, 3, 0, 9, 1), Options{}); err == nil {
+		t.Error("ternary tree accepted")
+	}
+}
+
+func TestABSingleLeaf(t *testing.T) {
+	tr := tree.FromNested(tree.MinMax, 17)
+	m, err := EvaluateAlphaBeta(tr, Options{})
+	if err != nil || m.Value != 17 || m.Expansions != 1 {
+		t.Errorf("leaf: %+v %v", m, err)
+	}
+}
+
+func TestABStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(10)
+		tr := tree.IIDMinMax(2, n, -10, 10, rng.Int63()) // narrow range: many ties
+		want := tr.Evaluate()
+		procs := 1 + rng.Intn(n+2)
+		m, err := EvaluateAlphaBeta(tr, Options{Processors: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != want {
+			t.Fatalf("trial %d n=%d procs=%d: got %d want %d", trial, n, procs, m.Value, want)
+		}
+	}
+}
+
+// Protocol invariants of the alpha-beta machine: invocations route to
+// their node's level, values route one level up, windows are always
+// non-empty (alpha < beta) on invocation messages, and the coordinator
+// receives the exact root value.
+func TestABProtocolInvariants(t *testing.T) {
+	type traced struct {
+		level int
+		m     abMessage
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		tr := tree.IIDMinMax(2, 2+rng.Intn(6), -100, 100, rng.Int63())
+		var mu sync.Mutex
+		var log []traced
+		abDebugHook = func(level int, m abMessage) {
+			mu.Lock()
+			log = append(log, traced{level, m})
+			mu.Unlock()
+		}
+		res, err := EvaluateAlphaBeta(tr, Options{})
+		abDebugHook = nil
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.Evaluate()
+		if res.Value != want {
+			t.Fatalf("trial %d: wrong value", trial)
+		}
+		first := log[0]
+		if first.level != 0 || first.m.typ != abPSolve || first.m.alpha != abNegInf || first.m.beta != abPosInf {
+			t.Fatalf("trial %d: bad kick-off %+v", trial, first)
+		}
+		sawRoot := false
+		for i, e := range log {
+			switch e.m.typ {
+			case abSSolve, abPSolve, abPSolve2, abPSolve3:
+				if e.level != tr.Depth(e.m.v) {
+					t.Fatalf("trial %d msg %d: routed to %d, want %d", trial, i, e.level, tr.Depth(e.m.v))
+				}
+				if e.m.alpha >= e.m.beta {
+					t.Fatalf("trial %d msg %d: empty window [%d,%d]", trial, i, e.m.alpha, e.m.beta)
+				}
+			case abVal:
+				if e.level != tr.Depth(e.m.v)-1 {
+					t.Fatalf("trial %d msg %d: val routed to %d", trial, i, e.level)
+				}
+				if e.level == -1 {
+					sawRoot = true
+					if e.m.val != int64(want) {
+						t.Fatalf("trial %d: coordinator got %d, want %d", trial, e.m.val, want)
+					}
+				}
+			}
+		}
+		if !sawRoot {
+			t.Fatalf("trial %d: no root value", trial)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package msgpass
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gametree/internal/tree"
+)
+
+// TestMessageProtocolInvariants traces every message of a run and checks
+// the routing discipline of Section 7: the run begins with P-SOLVE*(root)
+// at level 0; every invocation message is addressed to the level of its
+// node; every val message goes one level up; and a root value reaches the
+// coordinator (level -1) matching the result.
+func TestMessageProtocolInvariants(t *testing.T) {
+	type traced struct {
+		level int
+		m     message
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		tr := tree.IIDNor(2, 2+rng.Intn(7), 0.618, rng.Int63())
+		var mu sync.Mutex
+		var log []traced
+		debugHook = func(level int, m message) {
+			mu.Lock()
+			log = append(log, traced{level, m})
+			mu.Unlock()
+		}
+		res, err := Evaluate(tr, Options{})
+		debugHook = nil
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != tr.Evaluate() {
+			t.Fatalf("trial %d: wrong value", trial)
+		}
+		if len(log) == 0 {
+			t.Fatal("no messages traced")
+		}
+		first := log[0]
+		if first.level != 0 || first.m.typ != msgPSolve || first.m.v != tr.Root() {
+			t.Fatalf("trial %d: run must start with P-SOLVE*(root) at level 0, got %+v", trial, first)
+		}
+		sawRootVal := false
+		for i, e := range log {
+			switch e.m.typ {
+			case msgSSolve, msgPSolve, msgPSolve2, msgPSolve3:
+				if e.level != tr.Depth(e.m.v) {
+					t.Fatalf("trial %d msg %d: invocation for node %d routed to level %d, want %d",
+						trial, i, e.m.v, e.level, tr.Depth(e.m.v))
+				}
+			case msgVal:
+				if e.level != tr.Depth(e.m.v)-1 {
+					t.Fatalf("trial %d msg %d: val(%d) routed to level %d, want %d",
+						trial, i, e.m.v, e.level, tr.Depth(e.m.v)-1)
+				}
+				if e.level == -1 {
+					sawRootVal = true
+					if e.m.val != int8(res.Value) {
+						t.Fatalf("trial %d: coordinator val %d != result %d", trial, e.m.val, res.Value)
+					}
+				}
+			}
+		}
+		if !sawRootVal {
+			t.Fatalf("trial %d: no root value message", trial)
+		}
+	}
+}
+
+// On a worst-case rv=0 instance the cascade must actually descend the left
+// spine: the number of distinct levels receiving P-invocations grows with
+// n. With many processors the observation is timing-dependent (the root
+// can short-circuit first), so this runs on a single multiplexing
+// processor, where message handling is deterministic and the cascade
+// always out-runs the step-at-a-time S-SOLVE work.
+func TestCascadeDepthGrows(t *testing.T) {
+	depthOf := func(n int) int {
+		tr := tree.WorstCaseNOR(2, n, 0)
+		var mu sync.Mutex
+		levels := map[int]bool{}
+		debugHook = func(level int, m message) {
+			if m.typ == msgPSolve || m.typ == msgPSolve2 || m.typ == msgPSolve3 {
+				mu.Lock()
+				levels[level] = true
+				mu.Unlock()
+			}
+		}
+		defer func() { debugHook = nil }()
+		if _, err := Evaluate(tr, Options{Processors: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return len(levels)
+	}
+	if d4, d8 := depthOf(4), depthOf(8); d8 <= d4 {
+		t.Errorf("cascade did not deepen: %d levels at n=4, %d at n=8", d4, d8)
+	}
+}

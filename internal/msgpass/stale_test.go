@@ -1,0 +1,52 @@
+package msgpass
+
+import (
+	"testing"
+	"time"
+
+	"gametree/internal/tree"
+)
+
+// Regression test for the asynchronous staleness bug: without the shared
+// reported-ancestor check, a superseded invocation handled late could
+// spawn child invocations that clobber the live cascade's per-level slot
+// and orphan a promoted coordinator (observed as a deadlock on worst-case
+// B(2,12) with zones and synthetic per-expansion work). Run the exact
+// configurations that exposed it, with a watchdog.
+func TestNoDeadlockUnderZonesAndWork(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	run := func(name string, f func() (Metrics, error), want int32) {
+		t.Helper()
+		done := make(chan Metrics, 1)
+		go func() {
+			m, err := f()
+			if err != nil {
+				t.Error(err)
+			}
+			done <- m
+		}()
+		select {
+		case m := <-done:
+			if m.Value != want {
+				t.Fatalf("%s: value %d, want %d", name, m.Value, want)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: deadlock (watchdog fired)", name)
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		for _, procs := range []int{2, 3, 4, 13} {
+			nor := tree.WorstCaseNOR(2, 12, 1)
+			run("solve", func() (Metrics, error) {
+				return Evaluate(nor, Options{Processors: procs, WorkPerExpansion: 1000})
+			}, 1)
+			mm := tree.WorstOrderedMinMax(2, 10, int64(trial))
+			run("alphabeta", func() (Metrics, error) {
+				return EvaluateAlphaBeta(mm, Options{Processors: procs, WorkPerExpansion: 500})
+			}, mm.Evaluate())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package sched replays step-synchronous runs under a finite processor
+// budget. The paper's leaf-evaluation model charges one time unit per
+// step regardless of the step's parallel degree; with P physical
+// processors a step of degree k costs ceil(k/P) units (greedy list
+// scheduling). Replaying a recorded run under every P yields the full
+// speedup-vs-processors curve from a single simulation, and Brent's
+// theorem bounds it:
+//
+//	T_P <= T_inf + (W - T_inf)/P,   T_P >= max(T_inf, W/P)
+//
+// where T_inf is the step count (unbounded processors) and W the total
+// work.
+package sched
+
+import (
+	"fmt"
+
+	"gametree/internal/core"
+	"gametree/internal/tree"
+)
+
+// Profile is the per-step degree sequence of a run.
+type Profile []int
+
+// FromMetrics extracts a Profile from a run's degree histogram. The
+// per-step order is lost (histograms aggregate), which is fine: replay
+// cost is order-independent.
+func FromMetrics(m core.Metrics) Profile {
+	var p Profile
+	for deg, count := range m.DegreeHist {
+		for i := int64(0); i < count; i++ {
+			p = append(p, deg)
+		}
+	}
+	return p
+}
+
+// FromTraces extracts a Profile preserving step order.
+func FromTraces(steps []core.StepTrace) Profile {
+	p := make(Profile, len(steps))
+	for i, st := range steps {
+		p[i] = st.Degree()
+	}
+	return p
+}
+
+// Work returns the total number of leaf evaluations.
+func (p Profile) Work() int64 {
+	var w int64
+	for _, d := range p {
+		w += int64(d)
+	}
+	return w
+}
+
+// Steps returns T_inf, the time under unbounded processors.
+func (p Profile) Steps() int64 { return int64(len(p)) }
+
+// Replay returns T_P: the time to execute the run with P processors,
+// charging ceil(degree/P) per step.
+func (p Profile) Replay(procs int) int64 {
+	if procs < 1 {
+		panic(fmt.Sprintf("sched: Replay requires procs >= 1, got %d", procs))
+	}
+	var t int64
+	for _, d := range p {
+		t += int64((d + procs - 1) / procs)
+	}
+	return t
+}
+
+// BrentUpper returns the Brent bound T_inf + (W - T_inf)/P (rounded up).
+func (p Profile) BrentUpper(procs int) int64 {
+	if procs < 1 {
+		panic("sched: BrentUpper requires procs >= 1")
+	}
+	tinf := p.Steps()
+	w := p.Work()
+	extra := (w - tinf + int64(procs) - 1) / int64(procs)
+	return tinf + extra
+}
+
+// LowerBound returns max(T_inf, ceil(W/P)).
+func (p Profile) LowerBound(procs int) int64 {
+	if procs < 1 {
+		panic("sched: LowerBound requires procs >= 1")
+	}
+	w := (p.Work() + int64(procs) - 1) / int64(procs)
+	if t := p.Steps(); t > w {
+		return t
+	}
+	return w
+}
+
+// Curve returns (P, T_P) pairs for P = 1, 2, 4, ..., up to maxProcs.
+func (p Profile) Curve(maxProcs int) [][2]int64 {
+	var out [][2]int64
+	for procs := 1; procs <= maxProcs; procs *= 2 {
+		out = append(out, [2]int64{int64(procs), p.Replay(procs)})
+	}
+	return out
+}
+
+// LevelCosts returns, for each traced step, the cost of executing it
+// under a per-level processor allocation in the LEAF-evaluation model: a
+// step costs the maximum number of selected leaves sharing a depth, since
+// same-level leaves serialize on their level's processor. On uniform
+// trees every leaf sits at the bottom level, so this allocation
+// degenerates to full serialization (cost = degree) — which is precisely
+// why Section 7 builds its machine in the node-expansion model, where the
+// cascade's work is one expansion per level. LevelCosts quantifies that
+// distinction; on near-uniform trees (leaves at many depths) it sits
+// between the ideal step count and the total work.
+func LevelCosts(t *tree.Tree, steps []core.StepTrace) []int64 {
+	out := make([]int64, len(steps))
+	depthCount := map[int]int64{}
+	for i, st := range steps {
+		clear(depthCount)
+		var maxAt int64
+		for _, l := range st.Leaves {
+			d := t.Depth(l)
+			depthCount[d]++
+			if depthCount[d] > maxAt {
+				maxAt = depthCount[d]
+			}
+		}
+		if maxAt == 0 {
+			maxAt = 1
+		}
+		out[i] = maxAt
+	}
+	return out
+}
+
+// LevelReplay sums LevelCosts: the total time of the run under the
+// per-level allocation.
+func LevelReplay(t *tree.Tree, steps []core.StepTrace) int64 {
+	var total int64
+	for _, c := range LevelCosts(t, steps) {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gametree/internal/core"
+	"gametree/internal/tree"
+)
+
+func TestReplayBasics(t *testing.T) {
+	p := Profile{4, 2, 1, 8}
+	if p.Work() != 15 || p.Steps() != 4 {
+		t.Fatalf("work %d steps %d", p.Work(), p.Steps())
+	}
+	// P=1: time = work. P=inf-ish: time = steps.
+	if got := p.Replay(1); got != 15 {
+		t.Errorf("T_1 = %d, want 15", got)
+	}
+	if got := p.Replay(100); got != 4 {
+		t.Errorf("T_100 = %d, want 4", got)
+	}
+	// P=2: ceil(4/2)+ceil(2/2)+ceil(1/2)+ceil(8/2) = 2+1+1+4 = 8.
+	if got := p.Replay(2); got != 8 {
+		t.Errorf("T_2 = %d, want 8", got)
+	}
+	if got := p.Replay(3); got != 2+1+1+3 {
+		t.Errorf("T_3 = %d", got)
+	}
+}
+
+// Property: the replayed time always lies between the lower bound and the
+// Brent upper bound, and is non-increasing in P.
+func TestBrentSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := make(Profile, 1+rng.Intn(40))
+		for i := range p {
+			p[i] = 1 + rng.Intn(20)
+		}
+		prev := int64(1 << 62)
+		for procs := 1; procs <= 32; procs *= 2 {
+			tp := p.Replay(procs)
+			if tp < p.LowerBound(procs) || tp > p.BrentUpper(procs) {
+				return false
+			}
+			if tp > prev {
+				return false
+			}
+			prev = tp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Replaying a real width-1 run: with P = n+1 processors the replay time
+// equals the step count (no step exceeds the processor bound), recovering
+// Theorem 1's statement that n+1 processors suffice.
+func TestWidthOneRunFitsInHeightPlusOneProcessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(7)
+		tr := tree.IIDNor(2, n, 0.382, rng.Int63())
+		m, err := core.ParallelSolve(tr, 1, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := FromMetrics(m)
+		if got := p.Replay(n + 1); got != m.Steps {
+			t.Errorf("trial %d: T_{n+1} = %d != steps %d", trial, got, m.Steps)
+		}
+		if p.Work() != m.Work {
+			t.Errorf("trial %d: profile work %d != metrics %d", trial, p.Work(), m.Work)
+		}
+	}
+}
+
+func TestFromTracesPreservesOrder(t *testing.T) {
+	tr := tree.WorstCaseNOR(2, 6, 1)
+	steps, m, err := core.TraceParallelSolve(tr, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromTraces(steps)
+	if p.Steps() != m.Steps || p.Work() != m.Work {
+		t.Errorf("profile %d/%d vs metrics %d/%d", p.Steps(), p.Work(), m.Steps, m.Work)
+	}
+	if p[0] != steps[0].Degree() {
+		t.Error("order lost")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	p := Profile{8, 8}
+	c := p.Curve(8)
+	if len(c) != 4 || c[0] != [2]int64{1, 16} || c[3] != [2]int64{8, 2} {
+		t.Errorf("curve %v", c)
+	}
+}
+
+func TestSchedPanics(t *testing.T) {
+	p := Profile{1}
+	for _, f := range []func(){
+		func() { p.Replay(0) },
+		func() { p.BrentUpper(0) },
+		func() { p.LowerBound(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The per-level leaf-model allocation: sandwiched between the ideal step
+// count and the total work; on near-uniform trees (leaves at many depths)
+// it beats full serialization, while on uniform trees it degenerates to
+// cost = degree (the reason Section 7 works in the node-expansion model).
+func TestLevelReplayWidthOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		seed := rng.Int63()
+		tr := tree.NearUniform(tree.NOR, 4, 10, 0.5, 0.4, seed, tree.BernoulliLeaves(0.3, seed+1))
+		steps, m, err := core.TraceParallelSolve(tr, 1, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := LevelReplay(tr, steps)
+		if lr < m.Steps || lr > m.Work {
+			t.Fatalf("trial %d: level replay %d outside [steps %d, work %d]", trial, lr, m.Steps, m.Work)
+		}
+		costs := LevelCosts(tr, steps)
+		if int64(len(costs)) != m.Steps {
+			t.Fatalf("cost count mismatch")
+		}
+	}
+	// Uniform trees at width 1: every selected leaf of a step sits at the
+	// SAME depth n (all leaves are at the bottom), so the per-level
+	// allocation serializes the whole step: cost == degree.
+	tr := tree.WorstCaseNOR(2, 8, 1)
+	steps, _, err := core.TraceParallelSolve(tr, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := LevelCosts(tr, steps)
+	for i, st := range steps {
+		if costs[i] != int64(st.Degree()) {
+			t.Fatalf("step %d: cost %d != degree %d on a uniform tree", i, costs[i], st.Degree())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"gametree/internal/core"
+	"gametree/internal/tree"
+)
+
+// WriteDOTFrame renders the tree state after `upto` steps of a traced run
+// as Graphviz DOT: leaves evaluated in earlier steps are gray, leaves
+// evaluated at exactly step `upto` are highlighted, the current base path
+// is drawn bold. Rendering one frame per step yields an animation of the
+// cascade.
+func WriteDOTFrame(w io.Writer, t *tree.Tree, steps []core.StepTrace, upto int) error {
+	if upto < 0 || upto >= len(steps) {
+		return fmt.Errorf("trace: frame %d out of range [0,%d)", upto, len(steps))
+	}
+	done := map[tree.NodeID]bool{}
+	for i := 0; i < upto; i++ {
+		for _, l := range steps[i].Leaves {
+			done[l] = true
+		}
+	}
+	now := map[tree.NodeID]bool{}
+	for _, l := range steps[upto].Leaves {
+		now[l] = true
+	}
+	onPath := map[tree.NodeID]bool{}
+	for _, v := range steps[upto].BasePath {
+		onPath[v] = true
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph step%d {\n  ordering=out;\n  label=\"step %d, degree %d\";\n",
+		upto+1, upto+1, steps[upto].Degree())
+	for id := range t.Nodes {
+		nd := t.Node(tree.NodeID(id))
+		attrs := ""
+		switch {
+		case now[tree.NodeID(id)]:
+			attrs = ",style=filled,fillcolor=black,fontcolor=white"
+		case done[tree.NodeID(id)]:
+			attrs = ",style=filled,fillcolor=gray80"
+		case onPath[tree.NodeID(id)]:
+			attrs = ",penwidth=2"
+		}
+		if nd.NumChildren == 0 {
+			fmt.Fprintf(bw, "  n%d [shape=box,label=\"%d\"%s];\n", id, nd.Value, attrs)
+			continue
+		}
+		label := "NOR"
+		if t.Kind == tree.MinMax {
+			if t.IsMaxNode(tree.NodeID(id)) {
+				label = "MAX"
+			} else {
+				label = "MIN"
+			}
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q%s];\n", id, label, attrs)
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + tree.NodeID(i)
+			edge := ""
+			if onPath[tree.NodeID(id)] && onPath[c] {
+				edge = " [penwidth=2]"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d%s;\n", id, c, edge)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteDOTFrames writes one frame per step, each through the sink callback
+// (typically creating one file per frame).
+func WriteDOTFrames(t *tree.Tree, steps []core.StepTrace, sink func(step int) (io.WriteCloser, error)) error {
+	for i := range steps {
+		w, err := sink(i)
+		if err != nil {
+			return err
+		}
+		if err := WriteDOTFrame(w, t, steps, i); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package trace renders step-by-step executions of the paper's algorithms
+// in human-readable form: per-step listings with base paths and codes (the
+// Proposition 3 proof objects), an ASCII evaluation timeline (which leaf
+// was evaluated at which step — the visual form of the parallel degree),
+// and indented tree dumps. It is the debugging and teaching layer behind
+// cmd/gttrace.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gametree/internal/core"
+	"gametree/internal/tree"
+)
+
+// WriteSteps renders one line per step: the step number, the parallel
+// degree, the base-path code, and the evaluated leaves.
+func WriteSteps(w io.Writer, t *tree.Tree, steps []core.StepTrace) error {
+	bw := bufio.NewWriter(w)
+	for i, st := range steps {
+		fmt.Fprintf(bw, "step %3d  degree %2d  code %v  leaves", i+1, st.Degree(), st.Code)
+		for _, l := range st.Leaves {
+			fmt.Fprintf(bw, " %d", l)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteTimeline renders a Gantt-style chart: one row per leaf (in
+// left-to-right order), with a mark in the column of the step that
+// evaluated it. Leaves never evaluated (pruned) show as dashes. Wide runs
+// are truncated to maxSteps columns (0 means no limit).
+func WriteTimeline(w io.Writer, t *tree.Tree, steps []core.StepTrace, maxSteps int) error {
+	when := map[tree.NodeID]int{}
+	for i, st := range steps {
+		for _, l := range st.Leaves {
+			when[l] = i + 1
+		}
+	}
+	n := len(steps)
+	if maxSteps > 0 && n > maxSteps {
+		n = maxSteps
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-8s %-6s  timeline (steps 1..%d)\n", "leaf", "step", n)
+	for _, l := range t.Leaves() {
+		step := when[l]
+		fmt.Fprintf(bw, "%-8d ", l)
+		if step == 0 {
+			fmt.Fprintf(bw, "%-6s  %s\n", "-", strings.Repeat(".", n))
+			continue
+		}
+		fmt.Fprintf(bw, "%-6d  ", step)
+		for i := 1; i <= n; i++ {
+			if i == step {
+				bw.WriteByte('#')
+			} else {
+				bw.WriteByte('.')
+			}
+		}
+		if step > n {
+			fmt.Fprintf(bw, " (step %d beyond window)", step)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteTree renders the tree with indentation, marking each node's kind
+// and each leaf's value. evaluated, when non-nil, marks evaluated leaves
+// with '*'.
+func WriteTree(w io.Writer, t *tree.Tree, evaluated map[tree.NodeID]bool) error {
+	bw := bufio.NewWriter(w)
+	var walk func(v tree.NodeID)
+	walk = func(v tree.NodeID) {
+		nd := t.Node(v)
+		indent := strings.Repeat("  ", int(nd.Depth))
+		if nd.NumChildren == 0 {
+			mark := ""
+			if evaluated != nil && evaluated[v] {
+				mark = " *"
+			}
+			fmt.Fprintf(bw, "%s%d=%d%s\n", indent, v, nd.Value, mark)
+			return
+		}
+		label := "NOR"
+		if t.Kind == tree.MinMax {
+			if t.IsMaxNode(v) {
+				label = "MAX"
+			} else {
+				label = "MIN"
+			}
+		}
+		fmt.Fprintf(bw, "%s%d:%s\n", indent, v, label)
+		for i := int32(0); i < nd.NumChildren; i++ {
+			walk(nd.FirstChild + tree.NodeID(i))
+		}
+	}
+	walk(t.Root())
+	return bw.Flush()
+}
+
+// Summary aggregates a traced run for quick inspection.
+type Summary struct {
+	Steps        int
+	Work         int
+	MaxDegree    int
+	MeanDegree   float64
+	CodesOrdered bool // codes strictly decreasing (width-1 property)
+}
+
+// Summarize computes the Summary of a traced run.
+func Summarize(steps []core.StepTrace) Summary {
+	s := Summary{Steps: len(steps), CodesOrdered: true}
+	for i, st := range steps {
+		d := st.Degree()
+		s.Work += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if i > 0 && core.CompareCodes(st.Code, steps[i-1].Code) >= 0 {
+			s.CodesOrdered = false
+		}
+	}
+	if s.Steps > 0 {
+		s.MeanDegree = float64(s.Work) / float64(s.Steps)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("steps=%d work=%d max-degree=%d mean-degree=%.2f codes-decreasing=%v",
+		s.Steps, s.Work, s.MaxDegree, s.MeanDegree, s.CodesOrdered)
+}

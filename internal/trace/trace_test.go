@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"gametree/internal/core"
+	"gametree/internal/tree"
+)
+
+func tracedRun(t *testing.T, tr *tree.Tree, w int) []core.StepTrace {
+	t.Helper()
+	steps, m, err := core.TraceParallelSolve(tr, w, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value != tr.Evaluate() {
+		t.Fatal("traced run computed a wrong value")
+	}
+	return steps
+}
+
+func TestWriteSteps(t *testing.T) {
+	tr := tree.WorstCaseNOR(2, 4, 1)
+	steps := tracedRun(t, tr, 1)
+	var buf bytes.Buffer
+	if err := WriteSteps(&buf, tr, steps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "step   1") || !strings.Contains(out, "degree") {
+		t.Errorf("missing step lines:\n%s", out)
+	}
+	if strings.Count(out, "\n") != len(steps) {
+		t.Errorf("expected %d lines", len(steps))
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	tr := tree.BestCaseNOR(2, 4, 1)
+	steps := tracedRun(t, tr, 1)
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, tr, steps, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every evaluated leaf shows a '#'; pruned leaves show '-'.
+	if !strings.Contains(out, "#") {
+		t.Error("no evaluation marks")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("best-case run should leave pruned leaves unmarked")
+	}
+	// Truncated window still renders.
+	var buf2 bytes.Buffer
+	if err := WriteTimeline(&buf2, tr, steps, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf2.String()) == 0 {
+		t.Error("empty truncated timeline")
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := tree.FromNested(tree.MinMax, []any{[]any{3, 5}, 7})
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, tr, map[tree.NodeID]bool{3: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MAX", "MIN", "=7", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	nor := tree.IIDNor(2, 2, 0.5, 1)
+	buf.Reset()
+	if err := WriteTree(&buf, nor, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NOR") {
+		t.Error("NOR label missing")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := tree.WorstCaseNOR(2, 6, 1)
+	steps := tracedRun(t, tr, 1)
+	s := Summarize(steps)
+	if s.Steps != len(steps) || s.Work != 64 {
+		t.Errorf("summary %+v", s)
+	}
+	if !s.CodesOrdered {
+		t.Error("width-1 codes must decrease")
+	}
+	if s.MeanDegree <= 1 || s.MaxDegree < 2 {
+		t.Errorf("degenerate degrees: %+v", s)
+	}
+	if !strings.Contains(s.String(), "codes-decreasing=true") {
+		t.Errorf("String: %s", s)
+	}
+	if got := Summarize(nil); got.Steps != 0 || got.MeanDegree != 0 {
+		t.Errorf("empty summary %+v", got)
+	}
+}
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestWriteDOTFrames(t *testing.T) {
+	tr := tree.WorstCaseNOR(2, 3, 1)
+	steps := tracedRun(t, tr, 1)
+	var frames []*bytes.Buffer
+	err := WriteDOTFrames(tr, steps, func(step int) (io.WriteCloser, error) {
+		b := &bytes.Buffer{}
+		frames = append(frames, b)
+		return nopCloser{b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(steps) {
+		t.Fatalf("%d frames for %d steps", len(frames), len(steps))
+	}
+	first := frames[0].String()
+	for _, want := range []string{"digraph step1", "fillcolor=black", "penwidth=2", "ordering=out"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("frame 0 missing %q", want)
+		}
+	}
+	// Later frames must show earlier work grayed out.
+	if !strings.Contains(frames[len(frames)-1].String(), "gray80") {
+		t.Error("final frame shows no history")
+	}
+	var buf bytes.Buffer
+	if err := WriteDOTFrame(&buf, tr, steps, -1); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+}

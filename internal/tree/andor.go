@@ -1,0 +1,75 @@
+package tree
+
+// This file makes the equivalence of Section 2 explicit: "An AND/OR tree
+// is equivalent to its NOR-tree representation up to complementation of
+// the value of the root and possibly the values on the leaves."
+//
+// An AND/OR tree is represented here as a MinMax tree whose leaves are
+// Boolean: OR nodes are the MAX levels (even depth, the root is an OR)
+// and AND nodes the MIN levels. The transformation below replaces every
+// internal node by NOR and complements each leaf at even depth; the NOR
+// root then computes the complement of the AND/OR root. Formally, with
+// g the AND/OR value and f the NOR value, the invariant is
+//
+//	f(v) = g(v) XOR [depth(v) is even]
+//
+// which holds at the leaves by construction and propagates upward:
+// at odd depth (AND nodes) f(v) = NOR(not g(c)) = AND(g(c)) = g(v), and
+// at even depth (OR nodes) f(v) = NOR(g(c)) = not OR(g(c)) = not g(v).
+
+// AndOrToNOR converts a Boolean AND/OR tree (a MinMax tree with 0/1
+// leaves, OR at the root) into its NOR-tree representation. The returned
+// tree has the same shape; its root evaluates to the complement of the
+// AND/OR root. It panics if t is not a Boolean MinMax tree.
+func AndOrToNOR(t *Tree) *Tree {
+	if t.Kind != MinMax {
+		panic("tree: AndOrToNOR requires a MinMax (AND/OR) tree")
+	}
+	nodes := make([]Node, len(t.Nodes))
+	copy(nodes, t.Nodes)
+	for i := range nodes {
+		nd := &nodes[i]
+		if nd.NumChildren != 0 {
+			continue
+		}
+		if nd.Value != 0 && nd.Value != 1 {
+			panic("tree: AndOrToNOR requires Boolean leaves")
+		}
+		if nd.Depth%2 == 0 {
+			nd.Value = 1 - nd.Value
+		}
+	}
+	return &Tree{Kind: NOR, Nodes: nodes, Height: t.Height}
+}
+
+// NORToAndOr is the inverse of AndOrToNOR: it converts a NOR tree into
+// the equivalent AND/OR tree (MinMax with Boolean leaves) whose root
+// value is the complement of the NOR root.
+func NORToAndOr(t *Tree) *Tree {
+	if t.Kind != NOR {
+		panic("tree: NORToAndOr requires a NOR tree")
+	}
+	nodes := make([]Node, len(t.Nodes))
+	copy(nodes, t.Nodes)
+	for i := range nodes {
+		nd := &nodes[i]
+		if nd.NumChildren != 0 {
+			continue
+		}
+		if nd.Depth%2 == 0 {
+			nd.Value = 1 - nd.Value
+		}
+	}
+	return &Tree{Kind: MinMax, Nodes: nodes, Height: t.Height}
+}
+
+// IsBoolean reports whether every leaf value is 0 or 1.
+func (t *Tree) IsBoolean() bool {
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.NumChildren == 0 && nd.Value != 0 && nd.Value != 1 {
+			return false
+		}
+	}
+	return true
+}

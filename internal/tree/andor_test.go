@@ -1,0 +1,193 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shortCircuitAndOr is the classic left-to-right Boolean evaluation with
+// short-circuiting (OR stops at the first 1, AND at the first 0),
+// counting the leaves visited. It is the AND/OR-side reference for the
+// equivalence with Sequential SOLVE on the NOR representation.
+func shortCircuitAndOr(t *Tree, v NodeID) (int32, int64) {
+	nd := t.Node(v)
+	if nd.NumChildren == 0 {
+		return nd.Value, 1
+	}
+	or := t.IsMaxNode(v)
+	var visited int64
+	for i := int32(0); i < nd.NumChildren; i++ {
+		val, n := shortCircuitAndOr(t, nd.FirstChild+NodeID(i))
+		visited += n
+		if or && val == 1 {
+			return 1, visited
+		}
+		if !or && val == 0 {
+			return 0, visited
+		}
+	}
+	if or {
+		return 0, visited
+	}
+	return 1, visited
+}
+
+// norShortCircuit is left-to-right NOR evaluation (stop at the first 1),
+// counting leaves.
+func norShortCircuit(t *Tree, v NodeID) (int32, int64) {
+	nd := t.Node(v)
+	if nd.NumChildren == 0 {
+		return nd.Value, 1
+	}
+	var visited int64
+	for i := int32(0); i < nd.NumChildren; i++ {
+		val, n := norShortCircuit(t, nd.FirstChild+NodeID(i))
+		visited += n
+		if val == 1 {
+			return 0, visited
+		}
+	}
+	return 1, visited
+}
+
+func randomAndOr(rng *rand.Rand) *Tree {
+	d := 2 + rng.Intn(3)
+	n := rng.Intn(6)
+	return Uniform(MinMax, d, n, func(int) int32 { return int32(rng.Intn(2)) })
+}
+
+// The equivalence statement: the NOR representation evaluates to the
+// complement of the AND/OR root.
+func TestAndOrToNORComplementsRoot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ao := randomAndOr(rng)
+		nor := AndOrToNOR(ao)
+		if err := nor.Validate(); err != nil {
+			return false
+		}
+		return nor.Evaluate() == 1-ao.Evaluate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNORToAndOrRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nor := IIDNor(2+rng.Intn(2), rng.Intn(6), 0.5, rng.Int63())
+		ao := NORToAndOr(nor)
+		if ao.Evaluate() != 1-nor.Evaluate() {
+			return false
+		}
+		back := AndOrToNOR(ao)
+		if back.Len() != nor.Len() {
+			return false
+		}
+		for i := range back.Nodes {
+			if back.Nodes[i].Value != nor.Nodes[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The deeper fact behind Section 2: the left-to-right short-circuit
+// evaluation of the AND/OR tree visits exactly as many leaves as the
+// left-to-right NOR evaluation of its representation — they are the same
+// algorithm.
+func TestShortCircuitLeafCountsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ao := randomAndOr(rng)
+		nor := AndOrToNOR(ao)
+		aoVal, aoLeaves := shortCircuitAndOr(ao, ao.Root())
+		norVal, norLeaves := norShortCircuit(nor, nor.Root())
+		return aoVal == 1-norVal && aoLeaves == norLeaves
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsBoolean(t *testing.T) {
+	if !IIDNor(2, 3, 0.5, 1).IsBoolean() {
+		t.Error("NOR tree should be Boolean")
+	}
+	if IIDMinMax(2, 3, 5, 9, 1).IsBoolean() {
+		t.Error("values 5..9 are not Boolean")
+	}
+}
+
+func TestAndOrPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AndOrToNOR on NOR", func() { AndOrToNOR(IIDNor(2, 2, 0.5, 1)) })
+	mustPanic("AndOrToNOR non-Boolean", func() { AndOrToNOR(IIDMinMax(2, 2, 3, 9, 1)) })
+	mustPanic("NORToAndOr on MinMax", func() { NORToAndOr(IIDMinMax(2, 2, 0, 1, 1)) })
+}
+
+func TestBinarizeNORPreservesValue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		n := rng.Intn(5)
+		tr := IIDNor(d, n, 0.4, rng.Int63())
+		bin := BinarizeNOR(tr)
+		if err := bin.Validate(); err != nil {
+			return false
+		}
+		for i := range bin.Nodes {
+			if nc := bin.Nodes[i].NumChildren; nc != 0 && nc != 2 {
+				return false // must be strictly binary
+			}
+		}
+		return bin.Evaluate() == tr.Evaluate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarizeFanOutOne(t *testing.T) {
+	b := NewBuilder(NOR)
+	c := b.AddChildren(b.Root(), 1)
+	b.SetLeafValue(c, 1)
+	tr := b.Build() // NOR(1) = 0
+	bin := BinarizeNOR(tr)
+	if bin.Evaluate() != 0 {
+		t.Errorf("NOT(1) binarized to %d", bin.Evaluate())
+	}
+	if err := bin.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarizeSizeBound(t *testing.T) {
+	tr := Uniform(NOR, 5, 3, ConstLeaves(0))
+	bin := BinarizeNOR(tr)
+	if bin.Len() > 4*tr.Len() {
+		t.Errorf("binarized size %d exceeds 4x original %d", bin.Len(), tr.Len())
+	}
+}
+
+func TestBinarizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BinarizeNOR(IIDMinMax(2, 2, 0, 1, 1))
+}

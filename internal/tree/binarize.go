@@ -1,0 +1,69 @@
+package tree
+
+// BinarizeNOR rewrites a d-ary NOR tree as an equivalent strictly binary
+// NOR tree computing the same root value, so that any uniform tree can be
+// fed to the Section 7 message-passing machine (which the paper states
+// for binary trees).
+//
+// The gadget uses constant 0-leaves: with NOT(x) = NOR(x, 0) and
+// OR(a, b) = NOT(NOR(a, b)),
+//
+//	NOR(c1, ..., cd) = NOT(OR(...OR(OR(c1, c2), c3)..., cd))
+//
+// every internal node of fan-out d becomes a chain of d-1 binary NOR/NOT
+// pairs plus a final NOT, multiplying the node count by at most ~3.
+// Fan-out 2 nodes are kept as they are; fan-out 1 nodes become a double
+// negation NOT(NOT(child)) to preserve both value and strict binarity.
+func BinarizeNOR(t *Tree) *Tree {
+	if t.Kind != NOR {
+		panic("tree: BinarizeNOR requires a NOR tree")
+	}
+	b := NewBuilder(NOR)
+	var build func(dst NodeID, src NodeID)
+
+	// not builds NOT(sub) at dst, where sub is built by the continuation.
+	not := func(dst NodeID, sub func(NodeID)) {
+		first := b.AddChildren(dst, 2)
+		sub(first)
+		b.SetLeafValue(first+1, 0)
+	}
+
+	build = func(dst, src NodeID) {
+		nd := t.Node(src)
+		switch nd.NumChildren {
+		case 0:
+			b.SetLeafValue(dst, nd.Value)
+		case 1:
+			// NOR(x) = NOT(x) = NOR(x, 0).
+			not(dst, func(inner NodeID) {
+				build(inner, nd.FirstChild)
+			})
+		case 2:
+			first := b.AddChildren(dst, 2)
+			build(first, nd.FirstChild)
+			build(first+1, nd.FirstChild+1)
+		default:
+			// NOR(c1..cd) = NOT(or_d) where or_i is the OR chain.
+			// Build at dst: NOR(or_d, 0).
+			not(dst, func(orTop NodeID) {
+				// orTop must compute OR(c1..cd) = NOT(NOR(or_{d-1}, cd)).
+				var orChain func(dst NodeID, k int32)
+				orChain = func(dst NodeID, k int32) {
+					// dst computes OR(c1..c_{k+1}).
+					not(dst, func(norNode NodeID) {
+						first := b.AddChildren(norNode, 2)
+						if k == 1 {
+							build(first, nd.FirstChild)
+						} else {
+							orChain(first, k-1)
+						}
+						build(first+1, nd.FirstChild+NodeID(k))
+					})
+				}
+				orChain(orTop, nd.NumChildren-1)
+			})
+		}
+	}
+	build(b.Root(), t.Root())
+	return b.Build()
+}

@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSExpr: the parser must never panic, and anything it accepts
+// must be a valid, evaluable tree that round-trips through DOT rendering.
+func FuzzParseSExpr(f *testing.F) {
+	for _, seed := range []string{
+		"((3 5) (2 9))", "42", "(1 2 3)", "((1) 2)", "(", ")", "", "(x)",
+		"((((0))))", "(1 (2 (3 (4))))", "(-5 7)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<12 {
+			return // deep recursion guard for pathological inputs
+		}
+		tr, err := ParseSExpr(MinMax, s)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid tree for %q: %v", s, err)
+		}
+		_ = tr.Evaluate()
+		var buf bytes.Buffer
+		if err := tr.WriteDOT(&buf, "f"); err != nil {
+			t.Fatalf("DOT render failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and any tree
+// it accepts must validate.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := IIDNor(2, 3, 0.5, 1).Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode returned invalid tree: %v", err)
+		}
+	})
+}

@@ -1,0 +1,324 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UniformSize returns the number of nodes of a uniform d-ary tree of height
+// n, i.e. (d^(n+1)-1)/(d-1). It panics if the size would overflow an int32
+// arena index.
+func UniformSize(d, n int) int {
+	size := 1
+	level := 1
+	for i := 0; i < n; i++ {
+		level *= d
+		size += level
+		if size > 1<<31-1 {
+			panic(fmt.Sprintf("tree: uniform tree B(%d,%d) too large for arena", d, n))
+		}
+	}
+	return size
+}
+
+// LeafAssigner assigns a value to the i-th leaf (in left-to-right order) of
+// a generated tree. Generators call it once per leaf, in order.
+type LeafAssigner func(i int) int32
+
+// Uniform builds the uniform d-ary tree of height n of the given kind,
+// assigning leaf values with assign. For kind NOR this produces a member of
+// B(d,n); for kind MinMax a member of M(d,n).
+func Uniform(kind Kind, d, n int, assign LeafAssigner) *Tree {
+	if d < 1 || n < 0 {
+		panic("tree: Uniform requires d >= 1 and n >= 0")
+	}
+	size := UniformSize(d, n)
+	nodes := make([]Node, 0, size)
+	nodes = append(nodes, Node{Parent: None, FirstChild: None})
+	// Build level by level; children of consecutive parents are
+	// consecutive blocks, preserving left-to-right order.
+	levelStart, levelLen := 0, 1
+	for depth := 0; depth < n; depth++ {
+		nextStart := len(nodes)
+		for p := levelStart; p < levelStart+levelLen; p++ {
+			first := NodeID(len(nodes))
+			for c := 0; c < d; c++ {
+				nodes = append(nodes, Node{
+					Parent:     NodeID(p),
+					FirstChild: None,
+					Depth:      int32(depth + 1),
+					ChildIndex: int32(c),
+				})
+			}
+			nodes[p].FirstChild = first
+			nodes[p].NumChildren = int32(d)
+		}
+		levelStart, levelLen = nextStart, levelLen*d
+	}
+	if assign != nil {
+		for i := 0; i < levelLen; i++ {
+			nodes[levelStart+i].Value = assign(i)
+		}
+	}
+	return &Tree{Kind: kind, Nodes: nodes, Height: n}
+}
+
+// ConstLeaves returns an assigner that gives every leaf the same value.
+func ConstLeaves(v int32) LeafAssigner { return func(int) int32 { return v } }
+
+// SliceLeaves returns an assigner reading values from vals.
+func SliceLeaves(vals []int32) LeafAssigner {
+	return func(i int) int32 { return vals[i] }
+}
+
+// BernoulliLeaves returns an assigner drawing i.i.d. Bernoulli(p) leaf
+// values (1 with probability p) from a deterministic stream seeded by seed.
+// This is the i.i.d. model of Section 6 of the paper.
+func BernoulliLeaves(p float64, seed int64) LeafAssigner {
+	rng := rand.New(rand.NewSource(seed))
+	return func(int) int32 {
+		if rng.Float64() < p {
+			return 1
+		}
+		return 0
+	}
+}
+
+// UniformValueLeaves returns an assigner drawing i.i.d. integer leaf values
+// uniformly from [lo, hi] for MIN/MAX trees.
+func UniformValueLeaves(lo, hi int32, seed int64) LeafAssigner {
+	rng := rand.New(rand.NewSource(seed))
+	span := int64(hi) - int64(lo) + 1
+	return func(int) int32 { return lo + int32(rng.Int63n(span)) }
+}
+
+// WorstCaseNOR builds the member of B(d,n) on which Sequential SOLVE must
+// evaluate every leaf: a 1-valued node has all-0 children (all scanned);
+// a 0-valued node has its single 1-child in the last position, so the
+// left-to-right scan sees d-1 full 0-subtrees before the terminating 1.
+// rootValue selects the value of the root (0 or 1).
+func WorstCaseNOR(d, n int, rootValue int32) *Tree {
+	t := Uniform(NOR, d, n, nil)
+	assignWorstNOR(t, 0, rootValue)
+	return t
+}
+
+func assignWorstNOR(t *Tree, v NodeID, target int32) {
+	nd := &t.Nodes[v]
+	if nd.NumChildren == 0 {
+		nd.Value = target
+		return
+	}
+	d := int(nd.NumChildren)
+	if target == 1 {
+		for i := 0; i < d; i++ {
+			assignWorstNOR(t, nd.FirstChild+NodeID(i), 0)
+		}
+		return
+	}
+	for i := 0; i < d-1; i++ {
+		assignWorstNOR(t, nd.FirstChild+NodeID(i), 0)
+	}
+	assignWorstNOR(t, nd.FirstChild+NodeID(d-1), 1)
+}
+
+// BestCaseNOR builds the member of B(d,n) on which Sequential SOLVE prunes
+// maximally: a 0-valued node has its 1-child first, so the scan stops after
+// a single subtree.
+func BestCaseNOR(d, n int, rootValue int32) *Tree {
+	t := Uniform(NOR, d, n, nil)
+	assignBestNOR(t, 0, rootValue)
+	return t
+}
+
+func assignBestNOR(t *Tree, v NodeID, target int32) {
+	nd := &t.Nodes[v]
+	if nd.NumChildren == 0 {
+		nd.Value = target
+		return
+	}
+	d := int(nd.NumChildren)
+	if target == 1 {
+		for i := 0; i < d; i++ {
+			assignBestNOR(t, nd.FirstChild+NodeID(i), 0)
+		}
+		return
+	}
+	assignBestNOR(t, nd.FirstChild, 1)
+	for i := 1; i < d; i++ {
+		// Values under pruned siblings are irrelevant to the
+		// algorithms; make them 0 so the tree remains a valid worst
+		// case for nothing and keeps val(v)=0 unambiguous.
+		assignBestNOR(t, nd.FirstChild+NodeID(i), 0)
+	}
+}
+
+// IIDNor builds a member of B(d,n) with i.i.d. Bernoulli(p) leaves.
+func IIDNor(d, n int, p float64, seed int64) *Tree {
+	return Uniform(NOR, d, n, BernoulliLeaves(p, seed))
+}
+
+// IIDMinMax builds a member of M(d,n) with i.i.d. uniform leaf values on
+// [lo, hi].
+func IIDMinMax(d, n int, lo, hi int32, seed int64) *Tree {
+	return Uniform(MinMax, d, n, UniformValueLeaves(lo, hi, seed))
+}
+
+// OrderChildren rewrites the tree so that at every internal node the
+// children appear sorted by their exact game value: bestFirst orders each
+// MAX node's children by descending value and each MIN node's children by
+// ascending value (the Knuth–Moore "perfect ordering", the best case for
+// alpha-beta); !bestFirst produces the pessimal ordering. The tree must be
+// MinMax. A new tree is returned; the input is unchanged.
+func OrderChildren(t *Tree, bestFirst bool) *Tree {
+	if t.Kind != MinMax {
+		panic("tree: OrderChildren requires a MinMax tree")
+	}
+	vals := t.EvaluateAll()
+	b := NewBuilder(MinMax)
+	var cp func(src NodeID, dst NodeID)
+	cp = func(src, dst NodeID) {
+		nd := &t.Nodes[src]
+		if nd.NumChildren == 0 {
+			b.SetLeafValue(dst, nd.Value)
+			return
+		}
+		kids := t.Children(src)
+		// Stable insertion sort by value; d is small.
+		better := func(a, c NodeID) bool {
+			if t.IsMaxNode(src) == bestFirst {
+				return vals[a] > vals[c]
+			}
+			return vals[a] < vals[c]
+		}
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && better(kids[j], kids[j-1]); j-- {
+				kids[j], kids[j-1] = kids[j-1], kids[j]
+			}
+		}
+		first := b.AddChildren(dst, len(kids))
+		for i, k := range kids {
+			cp(k, first+NodeID(i))
+		}
+	}
+	cp(0, b.Root())
+	return b.Build()
+}
+
+// BestOrderedMinMax builds a member of M(d,n) with distinct i.i.d. leaf
+// values rearranged into the perfect (best-first) ordering, the instance
+// family on which sequential alpha-beta attains the Knuth–Moore optimum of
+// d^ceil(n/2) + d^floor(n/2) - 1 leaf evaluations.
+func BestOrderedMinMax(d, n int, seed int64) *Tree {
+	// Distinct values: a random permutation of 0..numLeaves-1.
+	nl := 1
+	for i := 0; i < n; i++ {
+		nl *= d
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(nl)
+	t := Uniform(MinMax, d, n, func(i int) int32 { return int32(perm[i]) })
+	return OrderChildren(t, true)
+}
+
+// WorstOrderedMinMax is the pessimal-ordering counterpart of
+// BestOrderedMinMax.
+func WorstOrderedMinMax(d, n int, seed int64) *Tree {
+	nl := 1
+	for i := 0; i < n; i++ {
+		nl *= d
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(nl)
+	t := Uniform(MinMax, d, n, func(i int) int32 { return int32(perm[i]) })
+	return OrderChildren(t, false)
+}
+
+// NearUniform builds a tree satisfying the hypotheses of Corollary 2: every
+// internal node has between ceil(alpha*d) and d children and every
+// root-leaf path has length between ceil(beta*n) and n. Leaf values are
+// assigned by assign in left-to-right order.
+func NearUniform(kind Kind, d, n int, alpha, beta float64, seed int64, assign LeafAssigner) *Tree {
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		panic("tree: NearUniform requires alpha, beta in (0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	minD := int(float64(d)*alpha + 0.999999)
+	if minD < 1 {
+		minD = 1
+	}
+	minDepth := int(float64(n)*beta + 0.999999)
+	b := NewBuilder(kind)
+	leafIdx := 0
+	var grow func(v NodeID, depth int)
+	grow = func(v NodeID, depth int) {
+		isLeaf := depth == n || (depth >= minDepth && rng.Float64() < 0.3)
+		if isLeaf {
+			if assign != nil {
+				b.SetLeafValue(v, assign(leafIdx))
+			}
+			leafIdx++
+			return
+		}
+		nc := minD + rng.Intn(d-minD+1)
+		first := b.AddChildren(v, nc)
+		for i := 0; i < nc; i++ {
+			grow(first+NodeID(i), depth+1)
+		}
+	}
+	grow(b.Root(), 0)
+	return b.Build()
+}
+
+// Permute returns a copy of t in which the children of every internal node
+// have been independently and uniformly permuted, as in the conceptual view
+// of the randomized algorithms of Section 6 ("Sequential SOLVE acting on a
+// randomly permuted input tree").
+func Permute(t *Tree, seed int64) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(t.Kind)
+	var cp func(src, dst NodeID)
+	cp = func(src, dst NodeID) {
+		nd := &t.Nodes[src]
+		if nd.NumChildren == 0 {
+			b.SetLeafValue(dst, nd.Value)
+			return
+		}
+		kids := t.Children(src)
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		first := b.AddChildren(dst, len(kids))
+		for i, k := range kids {
+			cp(k, first+NodeID(i))
+		}
+	}
+	cp(0, b.Root())
+	return b.Build()
+}
+
+// FromNested builds a tree from a nested literal: an int (or int32) is a
+// leaf value; a []any is an internal node whose elements are its children.
+// Handy for unit tests:
+//
+//	FromNested(MinMax, []any{[]any{3, 5}, []any{2, 9}})
+func FromNested(kind Kind, spec any) *Tree {
+	b := NewBuilder(kind)
+	var build func(v NodeID, s any)
+	build = func(v NodeID, s any) {
+		switch x := s.(type) {
+		case int:
+			b.SetLeafValue(v, int32(x))
+		case int32:
+			b.SetLeafValue(v, x)
+		case []any:
+			if len(x) == 0 {
+				panic("tree: FromNested internal node with no children")
+			}
+			first := b.AddChildren(v, len(x))
+			for i, c := range x {
+				build(first+NodeID(i), c)
+			}
+		default:
+			panic(fmt.Sprintf("tree: FromNested unsupported element %T", s))
+		}
+	}
+	build(b.Root(), spec)
+	return b.Build()
+}

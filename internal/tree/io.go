@@ -1,0 +1,119 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the tree in a self-describing binary format (encoding/gob).
+func (t *Tree) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Decode reads a tree previously written by Encode and validates it.
+func Decode(r io.Reader) (*Tree, error) {
+	var t Tree
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("tree: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteDOT emits the tree in Graphviz DOT format. Leaves are boxes labeled
+// with their value; internal nodes are circles labeled NOR, MAX or MIN.
+func (t *Tree) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  ordering=out;\n", name)
+	for id := range t.Nodes {
+		nd := &t.Nodes[id]
+		if nd.NumChildren == 0 {
+			fmt.Fprintf(bw, "  n%d [shape=box,label=\"%d\"];\n", id, nd.Value)
+			continue
+		}
+		label := "NOR"
+		if t.Kind == MinMax {
+			if nd.Depth%2 == 0 {
+				label = "MAX"
+			} else {
+				label = "MIN"
+			}
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", id, label)
+		for i := int32(0); i < nd.NumChildren; i++ {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", id, nd.FirstChild+NodeID(i))
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// ParseSExpr parses a tree from an s-expression: "(...)" is an internal
+// node, an integer token is a leaf. Example: "((3 5) (2 9))" is a height-2
+// binary tree. Whitespace separates tokens.
+func ParseSExpr(kind Kind, s string) (*Tree, error) {
+	toks := tokenize(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("tree: empty expression")
+	}
+	spec, rest, err := parseTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("tree: trailing tokens %v", rest)
+	}
+	t := FromNested(kind, spec)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+func parseTokens(toks []string) (any, []string, error) {
+	if len(toks) == 0 {
+		return nil, nil, fmt.Errorf("tree: unexpected end of expression")
+	}
+	switch toks[0] {
+	case "(":
+		var kids []any
+		rest := toks[1:]
+		for {
+			if len(rest) == 0 {
+				return nil, nil, fmt.Errorf("tree: missing ')'")
+			}
+			if rest[0] == ")" {
+				if len(kids) == 0 {
+					return nil, nil, fmt.Errorf("tree: internal node with no children")
+				}
+				return kids, rest[1:], nil
+			}
+			kid, r, err := parseTokens(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			kids = append(kids, kid)
+			rest = r
+		}
+	case ")":
+		return nil, nil, fmt.Errorf("tree: unexpected ')'")
+	default:
+		v, err := strconv.ParseInt(toks[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tree: bad leaf token %q: %w", toks[0], err)
+		}
+		return int32(v), toks[1:], nil
+	}
+}

@@ -1,0 +1,188 @@
+package tree
+
+// This file implements the combinatorial objects from Sections 2 and 3 of
+// the paper: proof trees (the certificates behind Fact 1/Fact 2 lower
+// bounds) and skeletons H_T (the subtree of T spanned by the leaves the
+// sequential algorithm evaluates, central to the proof of Theorem 1).
+
+// ProofTreeSize returns the number of leaves in a smallest proof tree of a
+// NOR tree T, i.e. the minimum number of leaf evaluations that certify
+// val(T). For a uniform tree in B(d,n) this is d^floor(n/2) or
+// d^ceil(n/2) depending on the root value; this function computes it
+// exactly for arbitrary NOR trees by the recurrence:
+//
+//	value-1 node: all children must be certified 0  -> sum of child costs
+//	value-0 node: one 1-child suffices              -> min over 1-children
+func ProofTreeSize(t *Tree) int64 {
+	if t.Kind != NOR {
+		panic("tree: ProofTreeSize requires a NOR tree")
+	}
+	vals := t.EvaluateAll()
+	cost := make([]int64, len(t.Nodes))
+	for id := len(t.Nodes) - 1; id >= 0; id-- {
+		nd := &t.Nodes[id]
+		if nd.NumChildren == 0 {
+			cost[id] = 1
+			continue
+		}
+		if vals[id] == 1 {
+			var s int64
+			for i := int32(0); i < nd.NumChildren; i++ {
+				s += cost[nd.FirstChild+NodeID(i)]
+			}
+			cost[id] = s
+		} else {
+			best := int64(-1)
+			for i := int32(0); i < nd.NumChildren; i++ {
+				c := nd.FirstChild + NodeID(i)
+				if vals[c] == 1 && (best < 0 || cost[c] < best) {
+					best = cost[c]
+				}
+			}
+			cost[id] = best
+		}
+	}
+	return cost[0]
+}
+
+// ProofTree extracts one smallest proof tree as a set of leaf ids (the
+// leaves whose evaluation certifies the root value).
+func ProofTree(t *Tree) []NodeID {
+	if t.Kind != NOR {
+		panic("tree: ProofTree requires a NOR tree")
+	}
+	vals := t.EvaluateAll()
+	cost := make([]int64, len(t.Nodes))
+	pick := make([]NodeID, len(t.Nodes)) // chosen child for value-0 nodes
+	for id := len(t.Nodes) - 1; id >= 0; id-- {
+		nd := &t.Nodes[id]
+		if nd.NumChildren == 0 {
+			cost[id] = 1
+			continue
+		}
+		if vals[id] == 1 {
+			var s int64
+			for i := int32(0); i < nd.NumChildren; i++ {
+				s += cost[nd.FirstChild+NodeID(i)]
+			}
+			cost[id] = s
+		} else {
+			best := int64(-1)
+			for i := int32(0); i < nd.NumChildren; i++ {
+				c := nd.FirstChild + NodeID(i)
+				if vals[c] == 1 && (best < 0 || cost[c] < best) {
+					best = cost[c]
+					pick[id] = c
+				}
+			}
+			cost[id] = best
+		}
+	}
+	var leaves []NodeID
+	var collect func(v NodeID)
+	collect = func(v NodeID) {
+		nd := &t.Nodes[v]
+		if nd.NumChildren == 0 {
+			leaves = append(leaves, v)
+			return
+		}
+		if vals[v] == 1 {
+			for i := int32(0); i < nd.NumChildren; i++ {
+				collect(nd.FirstChild + NodeID(i))
+			}
+		} else {
+			collect(pick[v])
+		}
+	}
+	collect(0)
+	return leaves
+}
+
+// Skeleton builds H_T from a set of evaluated leaves: the tree obtained
+// from t by deleting every node that is not an ancestor of a leaf in the
+// set (Section 3). It returns the new tree together with a mapping from
+// new node ids to original ids. Nodes keep their original left-to-right
+// order; note that (per the paper) a surviving node has the same set of
+// left-siblings in H_T as it does in T only in the sense relevant to the
+// proofs — siblings *not* in the skeleton are gone, which is exactly the
+// construction the paper uses.
+func Skeleton(t *Tree, evaluated []NodeID) (*Tree, []NodeID) {
+	keep := make([]bool, len(t.Nodes))
+	for _, l := range evaluated {
+		for v := l; v != None; v = t.Nodes[v].Parent {
+			if keep[v] {
+				break
+			}
+			keep[v] = true
+		}
+	}
+	if !keep[0] {
+		panic("tree: Skeleton with no evaluated leaves")
+	}
+	b := NewBuilder(t.Kind)
+	mapping := []NodeID{0}
+	var cp func(src, dst NodeID)
+	cp = func(src, dst NodeID) {
+		nd := &t.Nodes[src]
+		var kids []NodeID
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + NodeID(i)
+			if keep[c] {
+				kids = append(kids, c)
+			}
+		}
+		if len(kids) == 0 {
+			b.SetLeafValue(dst, nd.Value)
+			return
+		}
+		first := b.AddChildren(dst, len(kids))
+		for i, k := range kids {
+			for NodeID(len(mapping)) <= first+NodeID(i) {
+				mapping = append(mapping, None)
+			}
+			mapping[first+NodeID(i)] = k
+			cp(k, first+NodeID(i))
+		}
+	}
+	cp(0, b.Root())
+	return b.Build(), mapping
+}
+
+// Stats summarizes a tree's shape.
+type Stats struct {
+	Nodes        int
+	Leaves       int
+	Internal     int
+	Height       int
+	MinLeafDepth int
+	MaxDegree    int
+	MinDegree    int // over internal nodes
+	RootValue    int32
+}
+
+// Summarize computes Stats, including the exact root value.
+func Summarize(t *Tree) Stats {
+	s := Stats{Nodes: len(t.Nodes), Height: t.Height, MinDegree: 1 << 30, MinLeafDepth: 1 << 30}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.NumChildren == 0 {
+			s.Leaves++
+			if int(nd.Depth) < s.MinLeafDepth {
+				s.MinLeafDepth = int(nd.Depth)
+			}
+		} else {
+			s.Internal++
+			if int(nd.NumChildren) > s.MaxDegree {
+				s.MaxDegree = int(nd.NumChildren)
+			}
+			if int(nd.NumChildren) < s.MinDegree {
+				s.MinDegree = int(nd.NumChildren)
+			}
+		}
+	}
+	if s.Internal == 0 {
+		s.MinDegree = 0
+	}
+	s.RootValue = t.Evaluate()
+	return s
+}

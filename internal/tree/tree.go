@@ -1,0 +1,355 @@
+// Package tree provides the game-tree representation used throughout the
+// repository: a flat arena of nodes with contiguous child blocks, supporting
+// both Boolean AND/OR trees in their NOR normal form and real-valued
+// MIN/MAX trees, exactly as defined in Section 1 of Karp & Zhang,
+// "On Parallel Evaluation of Game Trees" (SPAA 1989).
+//
+// The package also contains instance generators (worst case, best case,
+// i.i.d. leaves, near-uniform trees of Corollary 2), reference evaluation,
+// proof trees (Fact 1) and skeletons H_T (Section 3).
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the two families of game trees in the paper.
+type Kind uint8
+
+const (
+	// NOR marks a Boolean tree in NOR normal form: the value of an
+	// internal node is 1 iff all children have value 0. An AND/OR tree is
+	// equivalent to its NOR representation up to complementation
+	// (Section 2 of the paper).
+	NOR Kind = iota
+	// MinMax marks a real-valued game tree whose root is a MAX node and
+	// whose levels alternate MAX/MIN.
+	MinMax
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NOR:
+		return "NOR"
+	case MinMax:
+		return "MinMax"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NodeID indexes a node inside a Tree's arena. The root is always node 0.
+type NodeID int32
+
+// None is the null NodeID, used for "no parent" and similar sentinels.
+const None NodeID = -1
+
+// Node is one tree node. Children of a node are stored contiguously in the
+// arena, so a Node only records the first child and the child count.
+type Node struct {
+	Parent      NodeID // None for the root
+	FirstChild  NodeID // undefined when NumChildren == 0
+	NumChildren int32
+	Depth       int32 // distance from the root
+	ChildIndex  int32 // position among the parent's children (0-based)
+	Value       int32 // leaf value; for NOR trees 0 or 1; unused on internal nodes
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.NumChildren == 0 }
+
+// Tree is a finite rooted ordered game tree stored in a flat arena.
+// The zero value is not usable; construct trees with a Builder or one of
+// the generators.
+type Tree struct {
+	Kind   Kind
+	Nodes  []Node
+	Height int // length (in edges) of the longest root-leaf path
+}
+
+// Root returns the root node id (always 0 for a non-empty tree).
+func (t *Tree) Root() NodeID { return 0 }
+
+// Len returns the total number of nodes.
+func (t *Tree) Len() int { return len(t.Nodes) }
+
+// Node returns a pointer to the node with the given id.
+func (t *Tree) Node(id NodeID) *Node { return &t.Nodes[id] }
+
+// Child returns the id of the i-th child of v.
+func (t *Tree) Child(v NodeID, i int) NodeID {
+	return t.Nodes[v].FirstChild + NodeID(i)
+}
+
+// Children returns the ids of all children of v in order. The returned
+// slice is freshly allocated; hot paths should iterate with Child instead.
+func (t *Tree) Children(v NodeID) []NodeID {
+	n := &t.Nodes[v]
+	kids := make([]NodeID, n.NumChildren)
+	for i := range kids {
+		kids[i] = n.FirstChild + NodeID(i)
+	}
+	return kids
+}
+
+// IsLeaf reports whether v is a leaf.
+func (t *Tree) IsLeaf(v NodeID) bool { return t.Nodes[v].NumChildren == 0 }
+
+// LeafValue returns the value stored on leaf v.
+func (t *Tree) LeafValue(v NodeID) int32 { return t.Nodes[v].Value }
+
+// Depth returns the distance of v from the root.
+func (t *Tree) Depth(v NodeID) int { return int(t.Nodes[v].Depth) }
+
+// IsMaxNode reports whether v is a MAX node in a MIN/MAX tree (the root is
+// MAX; parity alternates). For NOR trees the notion is not used.
+func (t *Tree) IsMaxNode(v NodeID) bool { return t.Nodes[v].Depth%2 == 0 }
+
+// NumLeaves counts the leaves of the tree.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].NumChildren == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Leaves returns the ids of all leaves in left-to-right order.
+func (t *Tree) Leaves() []NodeID {
+	var out []NodeID
+	var walk func(v NodeID)
+	walk = func(v NodeID) {
+		nd := &t.Nodes[v]
+		if nd.NumChildren == 0 {
+			out = append(out, v)
+			return
+		}
+		for i := int32(0); i < nd.NumChildren; i++ {
+			walk(nd.FirstChild + NodeID(i))
+		}
+	}
+	if len(t.Nodes) > 0 {
+		walk(0)
+	}
+	return out
+}
+
+// Validate checks structural invariants of the arena: parent/child links
+// consistent, depths correct, child indices correct, height correct.
+// Generators and the Builder always produce valid trees; Validate exists for
+// tests and for trees decoded from external data.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return errors.New("tree: empty")
+	}
+	if t.Nodes[0].Parent != None {
+		return errors.New("tree: root has a parent")
+	}
+	if t.Nodes[0].Depth != 0 {
+		return errors.New("tree: root depth != 0")
+	}
+	maxDepth := 0
+	for id := range t.Nodes {
+		nd := &t.Nodes[id]
+		if int(nd.Depth) > maxDepth {
+			maxDepth = int(nd.Depth)
+		}
+		if nd.NumChildren < 0 {
+			return fmt.Errorf("tree: node %d has negative child count", id)
+		}
+		for i := int32(0); i < nd.NumChildren; i++ {
+			c := nd.FirstChild + NodeID(i)
+			if c <= NodeID(id) || int(c) >= len(t.Nodes) {
+				return fmt.Errorf("tree: node %d child %d out of range", id, c)
+			}
+			ch := &t.Nodes[c]
+			if ch.Parent != NodeID(id) {
+				return fmt.Errorf("tree: node %d parent link broken (child %d)", id, c)
+			}
+			if ch.Depth != nd.Depth+1 {
+				return fmt.Errorf("tree: node %d depth inconsistent", c)
+			}
+			if ch.ChildIndex != i {
+				return fmt.Errorf("tree: node %d child index inconsistent", c)
+			}
+		}
+		if nd.NumChildren == 0 && t.Kind == NOR && nd.Value != 0 && nd.Value != 1 {
+			return fmt.Errorf("tree: NOR leaf %d has non-Boolean value %d", id, nd.Value)
+		}
+	}
+	if maxDepth != t.Height {
+		return fmt.Errorf("tree: recorded height %d != actual %d", t.Height, maxDepth)
+	}
+	return nil
+}
+
+// Evaluate computes the value of every node bottom-up by the defining
+// recurrences (NOR, or MIN/MAX with a MAX root) and returns the value of
+// the root. It is the reference oracle every search algorithm in this
+// repository is checked against.
+func (t *Tree) Evaluate() int32 {
+	vals := t.EvaluateAll()
+	return vals[0]
+}
+
+// EvaluateAll returns a slice indexed by NodeID holding the exact value of
+// every node.
+func (t *Tree) EvaluateAll() []int32 {
+	vals := make([]int32, len(t.Nodes))
+	// The arena is laid out so children always follow their parent
+	// (Validate enforces c > parent), so a reverse scan is a valid
+	// bottom-up order.
+	for id := len(t.Nodes) - 1; id >= 0; id-- {
+		nd := &t.Nodes[id]
+		if nd.NumChildren == 0 {
+			vals[id] = nd.Value
+			continue
+		}
+		switch t.Kind {
+		case NOR:
+			v := int32(1)
+			for i := int32(0); i < nd.NumChildren; i++ {
+				if vals[nd.FirstChild+NodeID(i)] == 1 {
+					v = 0
+					break
+				}
+			}
+			vals[id] = v
+		case MinMax:
+			first := vals[nd.FirstChild]
+			best := first
+			if nd.Depth%2 == 0 { // MAX node
+				for i := int32(1); i < nd.NumChildren; i++ {
+					if v := vals[nd.FirstChild+NodeID(i)]; v > best {
+						best = v
+					}
+				}
+			} else { // MIN node
+				for i := int32(1); i < nd.NumChildren; i++ {
+					if v := vals[nd.FirstChild+NodeID(i)]; v < best {
+						best = v
+					}
+				}
+			}
+			vals[id] = best
+		}
+	}
+	return vals
+}
+
+// PathToRoot returns the node ids from v up to the root, inclusive,
+// starting at v.
+func (t *Tree) PathToRoot(v NodeID) []NodeID {
+	var p []NodeID
+	for v != None {
+		p = append(p, v)
+		v = t.Nodes[v].Parent
+	}
+	return p
+}
+
+// IsAncestor reports whether a is an ancestor of v. Per the paper's
+// convention, every node is an ancestor of itself.
+func (t *Tree) IsAncestor(a, v NodeID) bool {
+	for v != None {
+		if v == a {
+			return true
+		}
+		v = t.Nodes[v].Parent
+	}
+	return false
+}
+
+// String returns a short description, e.g. "NOR tree: 31 nodes, height 4".
+func (t *Tree) String() string {
+	return fmt.Sprintf("%s tree: %d nodes, height %d", t.Kind, len(t.Nodes), t.Height)
+}
+
+// Builder constructs trees top-down. Children of a node must be added in a
+// single AddChildren call so that they are contiguous in the arena.
+type Builder struct {
+	kind  Kind
+	nodes []Node
+}
+
+// NewBuilder starts a tree of the given kind with just a root.
+func NewBuilder(kind Kind) *Builder {
+	return &Builder{
+		kind:  kind,
+		nodes: []Node{{Parent: None, FirstChild: None}},
+	}
+}
+
+// Root returns the id of the root node.
+func (b *Builder) Root() NodeID { return 0 }
+
+// AddChildren appends n children under parent and returns the id of the
+// first one (the rest follow consecutively). It panics if parent already
+// has children, to preserve contiguity.
+func (b *Builder) AddChildren(parent NodeID, n int) NodeID {
+	p := &b.nodes[parent]
+	if p.NumChildren != 0 {
+		panic("tree: AddChildren called twice for the same parent")
+	}
+	if n <= 0 {
+		panic("tree: AddChildren needs n > 0")
+	}
+	first := NodeID(len(b.nodes))
+	for i := 0; i < n; i++ {
+		b.nodes = append(b.nodes, Node{
+			Parent:     parent,
+			FirstChild: None,
+			Depth:      b.nodes[parent].Depth + 1,
+			ChildIndex: int32(i),
+		})
+	}
+	b.nodes[parent].FirstChild = first
+	b.nodes[parent].NumChildren = int32(n)
+	return first
+}
+
+// SetLeafValue assigns the value of a leaf.
+func (b *Builder) SetLeafValue(v NodeID, val int32) {
+	b.nodes[v].Value = val
+}
+
+// Build finalizes the tree. The Builder must not be used afterwards.
+func (b *Builder) Build() *Tree {
+	h := int32(0)
+	for i := range b.nodes {
+		if b.nodes[i].Depth > h {
+			h = b.nodes[i].Depth
+		}
+	}
+	t := &Tree{Kind: b.kind, Nodes: b.nodes, Height: int(h)}
+	b.nodes = nil
+	return t
+}
+
+// Equal reports whether two trees are structurally identical with equal
+// leaf values and the same kind.
+func Equal(a, b *Tree) bool {
+	if a.Kind != b.Kind || a.Height != b.Height || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	var eq func(x, y NodeID) bool
+	eq = func(x, y NodeID) bool {
+		nx, ny := a.Node(x), b.Node(y)
+		if nx.NumChildren != ny.NumChildren {
+			return false
+		}
+		if nx.NumChildren == 0 {
+			return nx.Value == ny.Value
+		}
+		for i := int32(0); i < nx.NumChildren; i++ {
+			if !eq(nx.FirstChild+NodeID(i), ny.FirstChild+NodeID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Root(), b.Root())
+}

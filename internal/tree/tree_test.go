@@ -1,0 +1,469 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformSize(t *testing.T) {
+	cases := []struct{ d, n, want int }{
+		{2, 0, 1}, {2, 1, 3}, {2, 2, 7}, {2, 3, 15},
+		{3, 2, 13}, {4, 2, 21}, {5, 3, 156},
+	}
+	for _, c := range cases {
+		if got := UniformSize(c.d, c.n); got != c.want {
+			t.Errorf("UniformSize(%d,%d) = %d, want %d", c.d, c.n, got, c.want)
+		}
+	}
+}
+
+func TestUniformStructure(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for n := 0; n <= 5; n++ {
+			tr := Uniform(NOR, d, n, ConstLeaves(0))
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("B(%d,%d): %v", d, n, err)
+			}
+			if tr.Len() != UniformSize(d, n) {
+				t.Errorf("B(%d,%d): %d nodes, want %d", d, n, tr.Len(), UniformSize(d, n))
+			}
+			wantLeaves := 1
+			for i := 0; i < n; i++ {
+				wantLeaves *= d
+			}
+			if got := tr.NumLeaves(); got != wantLeaves {
+				t.Errorf("B(%d,%d): %d leaves, want %d", d, n, got, wantLeaves)
+			}
+			if tr.Height != n {
+				t.Errorf("B(%d,%d): height %d", d, n, tr.Height)
+			}
+		}
+	}
+}
+
+func TestLeavesLeftToRight(t *testing.T) {
+	tr := Uniform(NOR, 2, 3, func(i int) int32 { return int32(i % 2) })
+	leaves := tr.Leaves()
+	if len(leaves) != 8 {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+	for i, l := range leaves {
+		if tr.LeafValue(l) != int32(i%2) {
+			t.Errorf("leaf %d: value %d, want %d (left-to-right assignment broken)", i, tr.LeafValue(l), i%2)
+		}
+	}
+	// Left-to-right order means strictly increasing by (depth-first) id
+	// within a uniform tree's leaf level.
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i] <= leaves[i-1] {
+			t.Errorf("leaves out of order at %d", i)
+		}
+	}
+}
+
+func TestEvaluateNOR(t *testing.T) {
+	// ((0 0) (1 0)): left NOR(0,0)=1 -> root NOR sees a 1 -> 0.
+	tr := FromNested(NOR, []any{[]any{0, 0}, []any{1, 0}})
+	if got := tr.Evaluate(); got != 0 {
+		t.Errorf("root = %d, want 0", got)
+	}
+	tr2 := FromNested(NOR, []any{[]any{1, 0}, []any{0, 1}})
+	// both children NOR(...)=0 -> root = 1
+	if got := tr2.Evaluate(); got != 1 {
+		t.Errorf("root = %d, want 1", got)
+	}
+}
+
+func TestEvaluateMinMax(t *testing.T) {
+	// MAX( MIN(3,5), MIN(2,9) ) = max(3,2) = 3
+	tr := FromNested(MinMax, []any{[]any{3, 5}, []any{2, 9}})
+	if got := tr.Evaluate(); got != 3 {
+		t.Errorf("root = %d, want 3", got)
+	}
+	// Height 3: MAX(MIN(MAX(1,2), MAX(7,0)), MIN(MAX(4,4), MAX(9,3)))
+	tr3 := FromNested(MinMax, []any{
+		[]any{[]any{1, 2}, []any{7, 0}},
+		[]any{[]any{4, 4}, []any{9, 3}},
+	})
+	// = MAX( MIN(2,7), MIN(4,9) ) = MAX(2,4) = 4
+	if got := tr3.Evaluate(); got != 4 {
+		t.Errorf("root = %d, want 4", got)
+	}
+}
+
+// naiveEval evaluates by direct recursion, as an independent oracle for
+// the arena-order bottom-up Evaluate.
+func naiveEval(t *Tree, v NodeID) int32 {
+	nd := t.Node(v)
+	if nd.NumChildren == 0 {
+		return nd.Value
+	}
+	if t.Kind == NOR {
+		for i := int32(0); i < nd.NumChildren; i++ {
+			if naiveEval(t, nd.FirstChild+NodeID(i)) == 1 {
+				return 0
+			}
+		}
+		return 1
+	}
+	best := naiveEval(t, nd.FirstChild)
+	for i := int32(1); i < nd.NumChildren; i++ {
+		x := naiveEval(t, nd.FirstChild+NodeID(i))
+		if t.IsMaxNode(v) == (x > best) {
+			best = x
+		}
+	}
+	return best
+}
+
+func TestEvaluateAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		nor := IIDNor(d, n, 0.5, rng.Int63())
+		if got, want := nor.Evaluate(), naiveEval(nor, 0); got != want {
+			t.Fatalf("NOR trial %d: Evaluate=%d naive=%d", trial, got, want)
+		}
+		mm := IIDMinMax(d, n, -50, 50, rng.Int63())
+		if got, want := mm.Evaluate(), naiveEval(mm, 0); got != want {
+			t.Fatalf("MinMax trial %d: Evaluate=%d naive=%d", trial, got, want)
+		}
+	}
+}
+
+func TestWorstBestCaseNORValues(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		for n := 1; n <= 6; n++ {
+			for _, rv := range []int32{0, 1} {
+				w := WorstCaseNOR(d, n, rv)
+				if got := w.Evaluate(); got != rv {
+					t.Errorf("WorstCaseNOR(%d,%d,%d) evaluates to %d", d, n, rv, got)
+				}
+				b := BestCaseNOR(d, n, rv)
+				if got := b.Evaluate(); got != rv {
+					t.Errorf("BestCaseNOR(%d,%d,%d) evaluates to %d", d, n, rv, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderChildrenPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(4)
+		tr := IIDMinMax(d, n, 0, 1000, rng.Int63())
+		want := tr.Evaluate()
+		for _, best := range []bool{true, false} {
+			o := OrderChildren(tr, best)
+			if err := o.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := o.Evaluate(); got != want {
+				t.Errorf("OrderChildren(best=%v) changed value %d -> %d", best, want, got)
+			}
+		}
+	}
+}
+
+func TestPermutePreservesMultisetAndValueDistribution(t *testing.T) {
+	tr := FromNested(MinMax, []any{[]any{3, 5}, []any{2, 9}})
+	p := Permute(tr, 42)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != tr.Len() || p.Height != tr.Height {
+		t.Errorf("Permute changed shape")
+	}
+	// The multiset of leaf values must be preserved.
+	count := func(t *Tree) map[int32]int {
+		m := map[int32]int{}
+		for _, l := range t.Leaves() {
+			m[t.LeafValue(l)]++
+		}
+		return m
+	}
+	a, b := count(tr), count(p)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("leaf multiset changed: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPermuteNORPreservesValue(t *testing.T) {
+	// NOR value is permutation-invariant (NOR is symmetric).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		tr := IIDNor(2+rng.Intn(2), 1+rng.Intn(5), 0.5, rng.Int63())
+		p := Permute(tr, rng.Int63())
+		if tr.Evaluate() != p.Evaluate() {
+			t.Fatalf("trial %d: permutation changed NOR value", trial)
+		}
+	}
+}
+
+func TestNearUniformRespectsCorollary2(t *testing.T) {
+	d, n := 4, 8
+	alpha, beta := 0.5, 0.5
+	tr := NearUniform(NOR, d, n, alpha, beta, 99, ConstLeaves(0))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	if s.MaxDegree > d {
+		t.Errorf("degree %d exceeds d=%d", s.MaxDegree, d)
+	}
+	if s.Internal > 0 && float64(s.MinDegree) < alpha*float64(d) {
+		t.Errorf("degree %d below alpha*d=%v", s.MinDegree, alpha*float64(d))
+	}
+	if s.Height > n {
+		t.Errorf("height %d exceeds n=%d", s.Height, n)
+	}
+	if float64(s.MinLeafDepth) < beta*float64(n) {
+		t.Errorf("leaf depth %d below beta*n=%v", s.MinLeafDepth, beta*float64(n))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := Uniform(NOR, 2, 2, ConstLeaves(0))
+	tr.Nodes[1].Parent = 2
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate missed broken parent link")
+	}
+	tr2 := Uniform(NOR, 2, 2, ConstLeaves(0))
+	tr2.Height = 5
+	if err := tr2.Validate(); err == nil {
+		t.Error("Validate missed wrong height")
+	}
+	tr3 := Uniform(NOR, 2, 2, ConstLeaves(7))
+	if err := tr3.Validate(); err == nil {
+		t.Error("Validate missed non-Boolean NOR leaf")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := IIDMinMax(3, 3, -9, 9, 5)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Evaluate() != tr.Evaluate() || got.Kind != tr.Kind {
+		t.Error("round trip changed the tree")
+	}
+}
+
+func TestParseSExpr(t *testing.T) {
+	tr, err := ParseSExpr(MinMax, "((3 5) (2 9))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Evaluate(); got != 3 {
+		t.Errorf("value %d, want 3", got)
+	}
+	for _, bad := range []string{"", "(", ")", "()", "(1 2", "1 2", "(x)"} {
+		if _, err := ParseSExpr(MinMax, bad); err == nil {
+			t.Errorf("ParseSExpr(%q) accepted invalid input", bad)
+		}
+	}
+	// Single leaf is fine.
+	one, err := ParseSExpr(MinMax, "42")
+	if err != nil || one.Evaluate() != 42 {
+		t.Errorf("single leaf: %v %v", one, err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := FromNested(MinMax, []any{[]any{1, 2}, 3})
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, "t"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "MAX", "MIN", "n0 -> n1"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: for random uniform NOR trees, ProofTreeSize is at most the
+// number of leaves evaluated by any algorithm and at least 1; and for
+// uniform trees it matches the closed form d^ceil(n/2) (root value 1) or
+// d^floor(n/2) (root value 0) when the tree is a best-case instance.
+func TestProofTreeClosedForm(t *testing.T) {
+	pow := func(b, e int) int64 {
+		r := int64(1)
+		for i := 0; i < e; i++ {
+			r *= int64(b)
+		}
+		return r
+	}
+	for _, d := range []int{2, 3} {
+		for n := 0; n <= 6; n++ {
+			t1 := WorstCaseNOR(d, n, 1)
+			if got, want := ProofTreeSize(t1), pow(d, (n+1)/2); got != want {
+				t.Errorf("proof tree B(%d,%d) val=1: %d, want %d", d, n, got, want)
+			}
+			t0 := WorstCaseNOR(d, n, 0)
+			if got, want := ProofTreeSize(t0), pow(d, n/2); got != want {
+				t.Errorf("proof tree B(%d,%d) val=0: %d, want %d", d, n, got, want)
+			}
+		}
+	}
+}
+
+func TestProofTreeIsCertificate(t *testing.T) {
+	// Property (testing/quick): the extracted proof tree leaves, with all
+	// other leaves flipped adversarially, still force the same root value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := IIDNor(2, 1+rng.Intn(5), 0.5, rng.Int63())
+		want := tr.Evaluate()
+		proof := ProofTree(tr)
+		inProof := map[NodeID]bool{}
+		for _, l := range proof {
+			inProof[l] = true
+		}
+		// Flip every non-proof leaf both ways; value must not change.
+		for _, flip := range []int32{0, 1} {
+			cp := Uniform(NOR, 2, tr.Height, nil)
+			for i, l := range tr.Leaves() {
+				v := tr.LeafValue(l)
+				if !inProof[l] {
+					v = flip
+				}
+				cp.Nodes[cp.Leaves()[i]].Value = v
+			}
+			if cp.Evaluate() != want {
+				return false
+			}
+		}
+		return int64(len(proof)) == ProofTreeSize(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkeletonClosedUnderAncestors(t *testing.T) {
+	tr := IIDNor(2, 5, 0.5, 21)
+	// Use the proof tree leaves as a stand-in evaluated set.
+	ev := ProofTree(tr)
+	h, mapping := Skeleton(tr, ev)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLeaves() != len(ev) {
+		t.Errorf("skeleton has %d leaves, evaluated %d", h.NumLeaves(), len(ev))
+	}
+	// Every mapped node's original must be an ancestor of some evaluated leaf.
+	for newID, origID := range mapping {
+		if origID == None {
+			continue
+		}
+		ok := false
+		for _, l := range ev {
+			if tr.IsAncestor(origID, l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("skeleton node %d (orig %d) not an ancestor of an evaluated leaf", newID, origID)
+		}
+	}
+}
+
+func TestPathToRootAndIsAncestor(t *testing.T) {
+	tr := Uniform(NOR, 2, 3, ConstLeaves(0))
+	leaf := tr.Leaves()[5]
+	p := tr.PathToRoot(leaf)
+	if len(p) != 4 || p[0] != leaf || p[len(p)-1] != 0 {
+		t.Fatalf("bad path %v", p)
+	}
+	for _, a := range p {
+		if !tr.IsAncestor(a, leaf) {
+			t.Errorf("%d should be an ancestor of %d", a, leaf)
+		}
+	}
+	if tr.IsAncestor(leaf, 0) {
+		t.Error("leaf is not an ancestor of the root")
+	}
+	if !tr.IsAncestor(leaf, leaf) {
+		t.Error("a node is an ancestor of itself (paper convention)")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("double AddChildren", func() {
+		b := NewBuilder(NOR)
+		b.AddChildren(b.Root(), 2)
+		b.AddChildren(b.Root(), 2)
+	})
+	mustPanic("zero children", func() {
+		b := NewBuilder(NOR)
+		b.AddChildren(b.Root(), 0)
+	})
+	mustPanic("bad uniform", func() { Uniform(NOR, 0, 3, nil) })
+	mustPanic("nested junk", func() { FromNested(NOR, "x") })
+}
+
+func TestSummarize(t *testing.T) {
+	tr := FromNested(MinMax, []any{[]any{1, 2, 3}, 7})
+	s := Summarize(tr)
+	if s.Nodes != 6 || s.Leaves != 4 || s.Internal != 2 || s.Height != 2 {
+		t.Errorf("bad stats %+v", s)
+	}
+	if s.MaxDegree != 3 || s.MinDegree != 2 {
+		t.Errorf("bad degrees %+v", s)
+	}
+	if s.RootValue != 7 { // MAX(MIN(1,2,3), 7) = MAX(1,7)
+		t.Errorf("root value %d", s.RootValue)
+	}
+	if s.MinLeafDepth != 1 {
+		t.Errorf("min leaf depth %d", s.MinLeafDepth)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := IIDNor(2, 4, 0.5, 9)
+	b := IIDNor(2, 4, 0.5, 9)
+	if !Equal(a, b) {
+		t.Error("identical generations should be equal")
+	}
+	c := IIDNor(2, 4, 0.5, 10)
+	if Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+	if Equal(a, IIDMinMax(2, 4, 0, 1, 9)) {
+		t.Error("different kinds should differ")
+	}
+	if Equal(a, IIDNor(2, 3, 0.5, 9)) {
+		t.Error("different heights should differ")
+	}
+	// Equal must be layout-insensitive: a structurally identical tree
+	// built in a different arena order still compares equal.
+	spec := []any{[]any{1, 0}, 1}
+	x := FromNested(NOR, spec)
+	y := FromNested(NOR, spec)
+	if !Equal(x, y) {
+		t.Error("rebuilt nested trees should be equal")
+	}
+}
