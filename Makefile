@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-engine vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector stress of the concurrent subsystems: the pooled
+# work-stealing engine (and its shared transposition table), the real-game
+# stress tests, and the message-passing evaluator.
+race:
+	$(GO) test -race ./internal/engine/ ./internal/games/ ./internal/msgpass/
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Substrate benchmarks (pooled vs spawn vs sequential) plus the
+# machine-readable BENCH_engine.json artifact.
+bench-engine:
+	$(GO) test -bench='BenchmarkEnginePooled' -benchmem -run='^$$' ./internal/engine/
+	$(GO) run ./cmd/gtbench -enginebench BENCH_engine.json
+
+vet:
+	$(GO) vet ./...

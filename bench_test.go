@@ -7,6 +7,7 @@ package gametree_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -185,25 +186,54 @@ func BenchmarkE12MessagePassing(b *testing.B) {
 	}
 }
 
-// BenchmarkE12Engine — wall-clock parallel speedup on Connect-4.
+// BenchmarkE12Engine — wall-clock parallel speedup on Connect-4, on the
+// pooled work-stealing substrate. nodes/sec and allocs/op are the headline
+// metrics; the worker sweep feeds BENCH_engine.json (cmd/gtbench -enginebench).
 func BenchmarkE12Engine(b *testing.B) {
 	pos := gametree.StandardConnect4()
 	const depth = 7
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		var nodes int64
 		for i := 0; i < b.N; i++ {
 			r := gametree.Search(pos, depth)
-			sink.Add(r.Nodes)
+			nodes += r.Nodes
 		}
+		sink.Add(nodes)
+		b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		var nodes int64
 		for i := 0; i < b.N; i++ {
 			r, err := gametree.SearchParallel(context.Background(), pos, depth, runtime.GOMAXPROCS(0))
 			if err != nil {
 				b.Fatal(err)
 			}
-			sink.Add(r.Nodes)
+			nodes += r.Nodes
 		}
+		sink.Add(nodes)
+		b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 	})
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				r, err := gametree.SearchParallel(context.Background(), pos, depth, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += r.Nodes
+			}
+			sink.Add(nodes)
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+		})
+	}
 }
 
 // BenchmarkE13Constant — the measured Theorem 1 constant at n=16.

@@ -1,0 +1,235 @@
+package main
+
+// Engine substrate benchmark → BENCH_engine.json.
+//
+// `gtbench -enginebench BENCH_engine.json` measures the game engine's
+// execution substrates and writes a single machine-readable JSON document:
+// machine info, the commit, and one record per configuration with ns/op,
+// nodes/op, nodes/sec, allocs/op and bytes/op. Two workloads are measured:
+//
+//   - "tree": a pessimally-ordered synthetic tree (engine.NewPessimalTree)
+//     where alpha-beta prunes little and nearly every interior node splits
+//     — the regime where per-split scheduling overhead dominates, so the
+//     spawn-vs-pooled substrate difference is the signal.
+//   - "connect4": standard 7x6 Connect-4 at fixed depth — a real game
+//     whose per-node cost (move generation, boxing) is the signal.
+//
+// Configurations: sequential negamax, the legacy goroutine-per-split
+// "spawn" cascade (engine.SearchParallelSpawn), and the pooled
+// work-stealing cascade across a worker sweep. The file is the first point
+// of the BENCH_*.json trajectory: later commits append comparable
+// documents, so regressions show up as a broken time series.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"gametree/internal/engine"
+	"gametree/internal/games"
+)
+
+const engineBenchSchema = "gametree/bench-engine/v1"
+
+type engineBenchDoc struct {
+	Schema    string            `json:"schema"`
+	Generated string            `json:"generated"`
+	Commit    string            `json:"commit"`
+	Machine   machineInfo       `json:"machine"`
+	Results   []engineBenchItem `json:"benchmarks"`
+}
+
+type machineInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+type engineBenchItem struct {
+	Workload    string  `json:"workload"` // tree | connect4
+	Name        string  `json:"name"`     // sequential | spawn | pooled | pooled_tt
+	Workers     int     `json:"workers"`  // 0 for sequential
+	Reps        int     `json:"reps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NodesPerOp  float64 `json:"nodes_per_op"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Value       int32   `json:"value"` // search value: must agree per workload
+	// Throughput ratios against the two baselines of the same workload
+	// (zero for the baselines themselves).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	SpeedupVsSpawn      float64 `json:"speedup_vs_spawn,omitempty"`
+}
+
+// measure times reps runs of search (after one untimed warm-up), with
+// allocation counts from runtime.ReadMemStats deltas.
+func measure(workload, name string, workers, reps int, search func() (engine.Result, error)) (engineBenchItem, error) {
+	if _, err := search(); err != nil {
+		return engineBenchItem{}, fmt.Errorf("%s/%s: %w", workload, name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var nodes int64
+	var value int32
+	for i := 0; i < reps; i++ {
+		r, err := search()
+		if err != nil {
+			return engineBenchItem{}, fmt.Errorf("%s/%s: %w", workload, name, err)
+		}
+		nodes += r.Nodes
+		value = r.Value
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return engineBenchItem{
+		Workload:    workload,
+		Name:        name,
+		Workers:     workers,
+		Reps:        reps,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(reps),
+		NodesPerOp:  float64(nodes) / float64(reps),
+		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reps),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+		Value:       value,
+	}, nil
+}
+
+// benchWorkload measures every substrate configuration on one position.
+// plain is the seed-engine view of the position (no MoveAppender); pos is
+// the preferred view (with AppendMoves where the game supports it).
+func benchWorkload(workload string, plain, pos engine.Position, depth, reps int) ([]engineBenchItem, error) {
+	ctx := context.Background()
+	maxWorkers := runtime.GOMAXPROCS(0)
+	var items []engineBenchItem
+
+	seq, err := measure(workload, "sequential", 0, reps, func() (engine.Result, error) {
+		return engine.Search(plain, depth), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	items = append(items, seq)
+
+	spawn, err := measure(workload, "spawn", maxWorkers, reps, func() (engine.Result, error) {
+		return engine.SearchParallelSpawn(ctx, plain, depth, maxWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	items = append(items, spawn)
+
+	workers := []int{1, 2, 4}
+	if maxWorkers != 1 && maxWorkers != 2 && maxWorkers != 4 {
+		workers = append(workers, maxWorkers)
+	}
+	for _, w := range workers {
+		w := w
+		item, err := measure(workload, "pooled", w, reps, func() (engine.Result, error) {
+			return engine.SearchParallel(ctx, pos, depth, w)
+		})
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+
+	for i := range items {
+		it := &items[i]
+		if it.Value != seq.Value {
+			return nil, fmt.Errorf("%s/%s(workers=%d): value %d disagrees with sequential %d",
+				workload, it.Name, it.Workers, it.Value, seq.Value)
+		}
+		if it.Name != "sequential" {
+			it.SpeedupVsSequential = it.NodesPerSec / seq.NodesPerSec
+		}
+		if it.Name == "pooled" {
+			it.SpeedupVsSpawn = it.NodesPerSec / spawn.NodesPerSec
+		}
+	}
+	return items, nil
+}
+
+// runEngineBench measures both workloads and writes the document to path.
+func runEngineBench(path string, depth, reps int) error {
+	tree := engine.NewPessimalTree(8, 4, 0)
+	items, err := benchWorkload("tree", tree, (*engine.BenchTreeAppender)(tree), 8, reps)
+	if err != nil {
+		return err
+	}
+
+	c4 := games.StandardConnect4()
+	c4Items, err := benchWorkload("connect4", c4, c4, depth, reps)
+	if err != nil {
+		return err
+	}
+	items = append(items, c4Items...)
+
+	// A shared-table configuration on the real game: fresh table per rep
+	// would be dominated by the table allocation, so this row measures the
+	// realistic warm-table regime (the value check still applies).
+	table := engine.NewTable(1 << 18)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	tt, err := measure("connect4", "pooled_tt", maxWorkers, reps, func() (engine.Result, error) {
+		return engine.SearchParallelTT(context.Background(), c4, depth,
+			engine.SearchOptions{Table: table, Workers: maxWorkers})
+	})
+	if err != nil {
+		return err
+	}
+	if tt.Value != c4Items[0].Value {
+		return fmt.Errorf("connect4/pooled_tt: value %d disagrees with sequential %d", tt.Value, c4Items[0].Value)
+	}
+	items = append(items, tt)
+
+	doc := engineBenchDoc{
+		Schema:    engineBenchSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Commit:    vcsRevision(),
+		Machine: machineInfo{
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+		Results: items,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// vcsRevision digs the commit hash out of the build info; "unknown" when
+// the binary was built without VCS stamping (e.g. plain `go run` in some
+// configurations).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && rev != "unknown" {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -8,6 +8,9 @@
 //	gtbench -quick          # reduced sizes (seconds)
 //	gtbench -only E2,E6     # a subset
 //	gtbench -csv dir/       # additionally write each table as CSV
+//	gtbench -enginebench BENCH_engine.json
+//	                        # engine substrate benchmark only: write the
+//	                        # machine-readable BENCH_engine.json document
 package main
 
 import (
@@ -30,8 +33,26 @@ func main() {
 		jsonDir = flag.String("json", "", "directory to write per-table JSON files")
 		seed    = flag.Int64("seed", 0, "override base seed (0 = default)")
 		trials  = flag.Int("trials", 0, "override trials per data point (0 = default)")
+
+		engineBench = flag.String("enginebench", "", "write the engine substrate benchmark to this JSON file and exit")
+		engineDepth = flag.Int("enginedepth", 8, "search depth for -enginebench")
+		engineReps  = flag.Int("enginereps", 5, "repetitions per configuration for -enginebench")
 	)
 	flag.Parse()
+
+	if *engineBench != "" {
+		if *engineDepth < 1 || *engineReps < 1 {
+			fmt.Fprintln(os.Stderr, "gtbench: -enginedepth and -enginereps must be at least 1")
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := runEngineBench(*engineBench, *engineDepth, *engineReps); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %s\n", *engineBench, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Trials: *trials}
 	want := map[string]bool{}

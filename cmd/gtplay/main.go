@@ -95,7 +95,7 @@ func playTTT(depth, workers int, selfplay bool, in *os.File, outF *os.File) erro
 	pos := games.TTT{}
 	human := int8(1) // X
 	if selfplay {
-		human = 0
+		human = -1 // matches no player (TTT's zero-value ToMove aliases X)
 	}
 	for {
 		fmt.Fprintf(out, "\n%s\n", pos)

@@ -259,6 +259,11 @@ func Scout(t *Tree) BaselineResult { return alphabeta.Scout(t) }
 // Position is a game state searchable by the engine (negamax convention).
 type Position = engine.Position
 
+// MoveAppender is an optional Position extension: games that implement it
+// let the engine recycle per-worker move buffers instead of allocating a
+// fresh slice at every node (TTT, Connect4 and Domineering opt in).
+type MoveAppender = engine.MoveAppender
+
 // SearchResult reports an engine search.
 type SearchResult = engine.Result
 

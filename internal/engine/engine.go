@@ -10,6 +10,11 @@
 // searched concurrently with the window established by the first. A
 // speculative sibling search is aborted when a cutoff is found, mirroring
 // the pre-emption rule of Section 7.
+//
+// Execution happens on a fixed pool of worker goroutines with per-worker
+// work-stealing deques (see pool.go), not a goroutine per speculative
+// sibling; the original spawn-based implementation is kept below
+// (parallelSpawn) as a measurable baseline.
 package engine
 
 import (
@@ -34,6 +39,14 @@ type Position interface {
 	Evaluate() int32
 }
 
+// MoveAppender is an optional Position interface: implementations append
+// their successors to dst (reusing its capacity) instead of allocating a
+// fresh slice per call, letting the engine recycle per-worker move
+// buffers on the hot path. AppendMoves must behave exactly like Moves.
+type MoveAppender interface {
+	AppendMoves(dst []Position) []Position
+}
+
 // Result reports the outcome of a search.
 type Result struct {
 	Value int32 // negamax value of the root (side to move's perspective)
@@ -47,7 +60,7 @@ var ErrCancelled = errors.New("engine: search cancelled")
 const (
 	winScore  = int32(1 << 24) // larger than any heuristic score
 	scoreInf  = int64(math.MaxInt32)
-	checkMask = 255 // context poll frequency in nodes
+	checkMask = 255 // interrupt poll frequency in nodes
 )
 
 // Search evaluates the position to the given depth with sequential
@@ -55,40 +68,77 @@ const (
 func Search(pos Position, depth int) Result {
 	e := &searcher{ctx: context.Background()}
 	v, best := e.negamax(pos, depth, -scoreInf, scoreInf, true)
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
 }
 
-// SearchParallel evaluates the position to the given depth using up to
-// workers concurrent goroutines (0 means GOMAXPROCS). It returns the same
-// value as Search.
+// SearchParallel evaluates the position to the given depth on a pool of
+// up to `workers` worker goroutines (0 means GOMAXPROCS) with per-worker
+// work-stealing deques. It returns the same value as Search.
 func SearchParallel(ctx context.Context, pos Position, depth, workers int) (Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	e := &searcher{ctx: ctx, sem: make(chan struct{}, workers)}
-	v, best := e.parallel(pos, depth, -scoreInf, scoreInf, true)
-	if ctx.Err() != nil {
-		return Result{}, ErrCancelled
-	}
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}, nil
+	return searchPooled(ctx, pos, depth, workers, nil)
 }
 
+// searcher is the sequential search state of one goroutine: the node
+// counter is a plain per-worker integer (summed by the pool at the end,
+// never contended), free recycles move buffers for MoveAppender
+// positions, and stop/sp carry the pool's cancellation flag and the abort
+// chain of the current speculative task.
 type searcher struct {
 	ctx   context.Context
-	sem   chan struct{} // bounds concurrent speculative searches
+	sem   chan struct{} // bounds concurrency of the legacy spawn path
 	table *Table        // optional shared transposition table
-	nodes atomic.Int64
+	stop  *atomic.Bool  // pooled: set when the search context is cancelled
+	sp    *splitPoint   // pooled: abort chain of the current task
+	nodes int64
+	free  [][]Position // recycled move buffers (MoveAppender positions)
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-func (e *searcher) cancelled() bool {
-	select {
-	case <-e.ctx.Done():
+// interrupted reports whether this searcher should unwind: the pool's
+// cancellation flag (one uncontended atomic load), an aborted enclosing
+// split, or — for non-pooled searches — the context. It is polled every
+// checkMask nodes instead of a per-node ctx.Done() select.
+func (e *searcher) interrupted() bool {
+	if e.stop != nil && e.stop.Load() {
 		return true
-	default:
-		return false
 	}
+	if e.sp != nil && e.sp.aborted() {
+		return true
+	}
+	if e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// genMoves returns the successors of pos, through a recycled per-worker
+// buffer when the position opts in via MoveAppender. The second return
+// value must be passed back to putMoves.
+func (e *searcher) genMoves(pos Position) ([]Position, bool) {
+	if ap, ok := pos.(MoveAppender); ok {
+		var buf []Position
+		if n := len(e.free); n > 0 {
+			buf = e.free[n-1]
+			e.free = e.free[:n-1]
+		}
+		return ap.AppendMoves(buf), true
+	}
+	return pos.Moves(), false
+}
+
+// putMoves recycles a buffer obtained from genMoves. The Position
+// references are cleared so finished subtrees stay collectable.
+func (e *searcher) putMoves(moves []Position, scratch bool) {
+	if !scratch {
+		return
+	}
+	clear(moves)
+	e.free = append(e.free, moves[:0])
 }
 
 // negamax is the sequential fail-hard search. wantBest selects whether the
@@ -97,15 +147,16 @@ func (e *searcher) cancelled() bool {
 // sufficient-depth entries cut off immediately and stored best moves are
 // tried first.
 func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
-	n := e.nodes.Add(1)
-	if n&checkMask == 0 && e.cancelled() {
+	e.nodes++
+	if e.nodes&checkMask == 0 && e.interrupted() {
 		return alpha, -1
 	}
 	if depth == 0 {
 		return int64(pos.Evaluate()), -1
 	}
-	moves := pos.Moves()
+	moves, scratch := e.genMoves(pos)
 	if len(moves) == 0 {
+		e.putMoves(moves, scratch)
 		return int64(pos.Evaluate()), -1
 	}
 
@@ -122,6 +173,7 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 				if d >= depth {
 					switch flag {
 					case boundExact:
+						e.putMoves(moves, scratch)
 						return int64(v), ttBest
 					case boundLower:
 						if int64(v) > alpha {
@@ -133,6 +185,7 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 						}
 					}
 					if alpha >= beta {
+						e.putMoves(moves, scratch)
 						return int64(v), ttBest
 					}
 				}
@@ -167,7 +220,7 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 			break
 		}
 	}
-	if hashed && !e.cancelled() {
+	if hashed && !e.interrupted() {
 		flag := boundExact
 		switch {
 		case best <= alpha0:
@@ -177,19 +230,20 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 		}
 		e.table.Store(hash, int32(best), depth, flag, bestIdx)
 	}
+	e.putMoves(moves, scratch)
 	if !wantBest {
 		return best, -1
 	}
 	return best, bestIdx
 }
 
-// parallel is the cascade search: leftmost child first (recursively
-// parallel), then the remaining children speculatively in goroutines, each
-// running the sequential search with the window sharpened by the first
-// child's value. A beta cutoff cancels the speculative siblings.
-func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
-	e.nodes.Add(1)
-	if e.cancelled() {
+// parallelSpawn is the original cascade implementation — a goroutine,
+// channel and searcher struct per speculative sibling, bounded by a
+// semaphore — retained as the measurable baseline the pooled substrate is
+// benchmarked against (BenchmarkEnginePooled/spawn).
+func (e *searcher) parallelSpawn(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
+	e.nodes++
+	if e.interrupted() {
 		return alpha, -1
 	}
 	if depth == 0 {
@@ -206,13 +260,13 @@ func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest
 
 	// Phase 1: the leftmost child establishes the window, exactly as the
 	// sequential algorithm would.
-	v0, _ := e.parallel(moves[0], depth-1, -beta, -alpha, false)
+	v0, _ := e.parallelSpawn(moves[0], depth-1, -beta, -alpha, false)
 	best := -v0
 	bestIdx := 0
 	if best > alpha {
 		alpha = best
 	}
-	if alpha >= beta || e.cancelled() {
+	if alpha >= beta || e.interrupted() {
 		return best, bestIdx
 	}
 
@@ -226,6 +280,7 @@ func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest
 	subCtx, cancel := context.WithCancel(e.ctx)
 	defer cancel()
 	results := make(chan sibling, len(moves)-1)
+	var extra atomic.Int64
 	var wg sync.WaitGroup
 	a0 := atomic.Int64{}
 	a0.Store(alpha)
@@ -244,7 +299,7 @@ func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest
 			}
 			sub := &searcher{ctx: subCtx, sem: e.sem, table: e.table}
 			v, _ := sub.negamax(m, depth-1, -beta, -a0.Load(), false)
-			e.nodes.Add(sub.nodes.Load())
+			extra.Add(sub.nodes)
 			results <- sibling{i, -v}
 		}(i, moves[i])
 	}
@@ -252,7 +307,7 @@ func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest
 
 	cut := false
 	for r := range results {
-		if cut || e.cancelled() {
+		if cut || e.interrupted() {
 			continue // drain
 		}
 		if r.val > best {
@@ -268,21 +323,41 @@ func (e *searcher) parallel(pos Position, depth int, alpha, beta int64, wantBest
 			cancel() // abort remaining speculative siblings
 		}
 	}
+	e.nodes += extra.Load()
 	return best, bestIdx
 }
 
-// Play returns the index of the best move at the root, or an error if the
-// position is terminal.
-func Play(ctx context.Context, pos Position, depth, workers int) (int, error) {
-	if len(pos.Moves()) == 0 {
-		return -1, fmt.Errorf("engine: no legal moves")
+// SearchParallelSpawn is the pre-pool SearchParallel (a goroutine, channel
+// and context per split point), kept as the A/B baseline for benchmarking
+// the substrates — gtbench -enginebench records it in BENCH_engine.json.
+//
+// Deprecated: use SearchParallel; this exists only to measure it against.
+func SearchParallelSpawn(ctx context.Context, pos Position, depth, workers int) (Result, error) {
+	return searchParallelSpawn(ctx, pos, depth, workers)
+}
+
+func searchParallelSpawn(ctx context.Context, pos Position, depth, workers int) (Result, error) {
+	if workers <= 0 {
+		workers = defaultWorkers()
 	}
+	e := &searcher{ctx: ctx, sem: make(chan struct{}, workers)}
+	v, best := e.parallelSpawn(pos, depth, -scoreInf, scoreInf, true)
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}, nil
+}
+
+// Play returns the index of the best move at the root, or an error if the
+// position is terminal. The root move list is generated once, inside the
+// search — not pre-checked and recomputed.
+func Play(ctx context.Context, pos Position, depth, workers int) (int, error) {
 	r, err := SearchParallel(ctx, pos, depth, workers)
 	if err != nil {
 		return -1, err
 	}
 	if r.Best < 0 {
-		return -1, fmt.Errorf("engine: search found no move")
+		return -1, fmt.Errorf("engine: no legal moves")
 	}
 	return r.Best, nil
 }

@@ -1,0 +1,69 @@
+package engine
+
+// Benchmark fixtures: synthetic trees with known search behaviour, shared
+// by the in-package benchmarks and cmd/gtbench's BENCH_engine.json writer.
+// They live in the package proper (not a _test.go file) so the bench
+// command can build against them; they are tiny and have no dependencies.
+
+// BenchTree is an explicit game tree used as a benchmark Position. Moves
+// allocates a fresh slice on every call — the behaviour of a game that has
+// not opted into MoveAppender.
+type BenchTree struct {
+	kids []*BenchTree
+	val  int32
+}
+
+// Evaluate returns the node's static value.
+func (p *BenchTree) Evaluate() int32 { return p.val }
+
+// Moves returns the children, boxed into a freshly allocated slice.
+func (p *BenchTree) Moves() []Position {
+	out := make([]Position, len(p.kids))
+	for i, k := range p.kids {
+		out[i] = k
+	}
+	return out
+}
+
+// BenchTreeAppender is the same tree exposed through MoveAppender, so the
+// engine's per-worker move buffers are exercised. Convert with
+// (*BenchTreeAppender)(t).
+type BenchTreeAppender BenchTree
+
+// Evaluate returns the node's static value.
+func (p *BenchTreeAppender) Evaluate() int32 { return p.val }
+
+// Moves returns the children (via AppendMoves on a nil buffer).
+func (p *BenchTreeAppender) Moves() []Position { return p.AppendMoves(nil) }
+
+// AppendMoves implements MoveAppender.
+func (p *BenchTreeAppender) AppendMoves(dst []Position) []Position {
+	dst = dst[:0]
+	for _, k := range p.kids {
+		dst = append(dst, (*BenchTreeAppender)(k))
+	}
+	return dst
+}
+
+var (
+	_ Position     = (*BenchTree)(nil)
+	_ MoveAppender = (*BenchTreeAppender)(nil)
+)
+
+// NewPessimalTree builds a uniform tree whose move ordering is pessimal
+// for alpha-beta: from every node's perspective its children's values
+// strictly increase, so the running best improves on every child, cutoffs
+// are rare, and nearly every interior node above the sequential horizon
+// becomes a split point. That is the regime where per-split scheduling
+// overhead dominates, which makes the tree the canonical workload for
+// comparing execution substrates. The root's negamax value is `want`.
+func NewPessimalTree(depth, branch int, want int32) *BenchTree {
+	p := &BenchTree{val: want}
+	if depth == 0 {
+		return p
+	}
+	for i := 0; i < branch; i++ {
+		p.kids = append(p.kids, NewPessimalTree(depth-1, branch, -want+int32(branch-1-i)))
+	}
+	return p
+}

@@ -18,9 +18,10 @@ type SearchOptions struct {
 // (possibly shallower) searches seed move ordering and produce immediate
 // cutoffs at sufficient depth.
 func SearchTT(pos Position, depth int, opt SearchOptions) Result {
+	opt.Table.Advance()
 	e := &searcher{ctx: context.Background(), table: opt.Table}
 	v, best := e.negamax(pos, depth, -scoreInf, scoreInf, true)
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
 }
 
 // SearchIterative performs iterative deepening to maxDepth with a
@@ -39,29 +40,22 @@ func SearchIterative(ctx context.Context, pos Position, maxDepth int, opt Search
 			return last, nil, ErrCancelled
 		default:
 		}
+		opt.Table.Advance()
 		e := &searcher{ctx: ctx, table: opt.Table}
 		v, best := e.negamax(pos, d, -scoreInf, scoreInf, true)
 		if ctx.Err() != nil {
 			return last, nil, ErrCancelled
 		}
-		last = Result{Value: int32(v), Best: best, Nodes: last.Nodes + e.nodes.Load()}
+		last = Result{Value: int32(v), Best: best, Nodes: last.Nodes + e.nodes}
 	}
 	return last, extractPV(pos, maxDepth, opt.Table, last.Best), nil
 }
 
 // SearchParallelTT combines the parallel cascade with a shared lock-free
-// transposition table.
+// transposition table, on the same pooled substrate as SearchParallel.
 func SearchParallelTT(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	e := &searcher{ctx: ctx, sem: make(chan struct{}, workers), table: opt.Table}
-	v, best := e.parallel(pos, depth, -scoreInf, scoreInf, true)
-	if ctx.Err() != nil {
-		return Result{}, ErrCancelled
-	}
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}, nil
+	opt.Table.Advance()
+	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table)
 }
 
 // extractPV walks the transposition table from the root, following stored

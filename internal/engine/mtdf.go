@@ -14,6 +14,7 @@ func MTDF(pos Position, depth int, first int32, opt SearchOptions) Result {
 	if table == nil {
 		table = NewTable(1 << 16)
 	}
+	table.Advance()
 	g := int64(first)
 	lower, upper := -scoreInf, scoreInf
 	var total int64
@@ -25,7 +26,7 @@ func MTDF(pos Position, depth int, first int32, opt SearchOptions) Result {
 		}
 		e := &searcher{ctx: context.Background(), table: table}
 		v, b := e.negamax(pos, depth, beta-1, beta, true)
-		total += e.nodes.Load()
+		total += e.nodes
 		g = v
 		if b >= 0 {
 			best = b

@@ -1,0 +1,477 @@
+package engine
+
+// This file is the pooled work-stealing execution substrate of the parallel
+// cascade. The original engine paid a scheduler tax the paper never
+// modeled: a fresh goroutine, channel and searcher struct per speculative
+// sibling at every interior node, plus one contended atomic node counter
+// bumped on every visit. Here a fixed set of worker goroutines is created
+// once per search; speculative siblings become tasks pushed onto the
+// owning worker's lock-free Chase-Lev deque, idle workers steal from the
+// top, and the splitting worker joins by helping (popping its own deque,
+// then stealing) until a per-split join counter drains. Beta-cutoff
+// cancellation propagates through a per-split abort flag checked at task
+// dequeue and every checkMask nodes inside the sequential sub-searches;
+// node counts live in per-worker plain counters summed once at the end.
+//
+// The cascade semantics are unchanged: at every spine node the leftmost
+// child is searched first with the full window ("young brothers wait"),
+// the remaining siblings run speculatively with the window sharpened by
+// completed siblings, and sibling results are merged in completion order
+// until a cutoff — exactly the discipline of the goroutine-per-sibling
+// implementation this replaces (kept as parallelSpawn for comparison).
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// seqSplitDepth is the horizon below which subtrees are searched in place:
+// scheduling a task costs more than searching a 2-ply subtree.
+const seqSplitDepth = 2
+
+// task is one speculative sibling search, embedded in its split point's
+// task slab so a split costs O(1) allocations, not O(branching).
+type task struct {
+	sp    *splitPoint
+	pos   Position
+	idx   int // move index at the split node
+	depth int // remaining depth for the child search
+}
+
+// splitPoint coordinates the speculative siblings of one spine node: the
+// join counter the parent blocks on, the shared (monotonically raised)
+// alpha that sharpens later siblings' windows, and the abort flag that
+// propagates a beta cutoff to tasks still queued or running.
+type splitPoint struct {
+	up      *splitPoint  // enclosing split, for chained abort checks
+	shared  atomic.Int64 // freshest alpha, read once at task start
+	pending atomic.Int32 // tasks not yet finished or skipped
+	abort   atomic.Bool  // set on beta cutoff; never cleared while live
+
+	mu      sync.Mutex
+	beta    int64
+	alpha   int64 // current sharpened alpha (mirrors the sequential loop)
+	best    int64
+	bestIdx int
+
+	tasks []task
+}
+
+// aborted reports whether this split or any enclosing one has been cut.
+func (sp *splitPoint) aborted() bool {
+	for s := sp; s != nil; s = s.up {
+		if s.abort.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// complete merges one finished sibling. Results are merged in completion
+// order and ignored once a cutoff has been found — the same discipline as
+// the channel-draining loop of the spawn-based implementation, so the
+// returned values are identical. ok is false for siblings that were
+// skipped or interrupted; their (partial) values must not be merged.
+func (sp *splitPoint) complete(idx int, v int64, ok bool) {
+	if ok {
+		sp.mu.Lock()
+		if !sp.abort.Load() {
+			if v > sp.best {
+				sp.best = v
+				sp.bestIdx = idx
+			}
+			if sp.best > sp.alpha {
+				sp.alpha = sp.best
+				sp.shared.Store(sp.alpha)
+			}
+			if sp.alpha >= sp.beta {
+				sp.abort.Store(true) // pre-empt the remaining siblings
+			}
+		}
+		sp.mu.Unlock()
+	}
+	sp.pending.Add(-1)
+}
+
+// ---------------------------------------------------------------------------
+// Chase-Lev work-stealing deque
+
+// taskRing is the growable circular buffer behind a deque. Stale rings stay
+// reachable by in-flight steals; the GC reclaims them.
+type taskRing struct {
+	mask int64
+	slot []atomic.Pointer[task]
+}
+
+func newTaskRing(capacity int64) *taskRing {
+	return &taskRing{mask: capacity - 1, slot: make([]atomic.Pointer[task], capacity)}
+}
+
+func (r *taskRing) get(i int64) *task     { return r.slot[i&r.mask].Load() }
+func (r *taskRing) put(i int64, t *task)  { r.slot[i&r.mask].Store(t) }
+
+// deque is a lock-free work-stealing deque (Chase & Lev 2005): the owner
+// pushes and pops at the bottom (LIFO, preserving the sequential move
+// order), thieves steal from the top (FIFO, taking the most speculative
+// siblings first). Go's sync/atomic operations are sequentially
+// consistent, which the bottom/top handshake in pop relies on.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[taskRing]
+}
+
+func (d *deque) init() { d.buf.Store(newTaskRing(64)) }
+
+// push appends a task at the bottom. Owner-only.
+func (d *deque) push(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.buf.Load()
+	if b-tp > r.mask {
+		grown := newTaskRing(2 * (r.mask + 1))
+		for i := tp; i < b; i++ {
+			grown.put(i, r.get(i))
+		}
+		d.buf.Store(grown)
+		r = grown
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner-only.
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore the canonical state.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := d.buf.Load().get(b)
+	if tp == b {
+		// Last element: race against a thief for it.
+		if !d.top.CompareAndSwap(tp, tp+1) {
+			t = nil
+		}
+		d.bottom.Store(tp + 1)
+	}
+	return t
+}
+
+// steal removes the oldest task. Safe from any goroutine.
+func (d *deque) steal() *task {
+	for {
+		tp := d.top.Load()
+		b := d.bottom.Load()
+		if tp >= b {
+			return nil
+		}
+		t := d.buf.Load().get(tp)
+		if d.top.CompareAndSwap(tp, tp+1) {
+			return t
+		}
+		// Lost the race; re-read indices and try again.
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+// worker is one pool member. It embeds a searcher, so the sequential
+// negamax (with its transposition table, scratch move buffers and plain
+// node counter) runs unchanged on pool workers; the pad keeps the thief-
+// contended deque words off the cache line of the owner-hot counter.
+type worker struct {
+	searcher
+	pool   *pool
+	id     int
+	spFree []*splitPoint
+	_      [64]byte // separate owner-hot fields from the stolen-from deque
+	dq     deque
+	rng    uint64
+}
+
+// pool is the per-search worker set. The goroutine calling the search
+// becomes worker 0; workers 1..n-1 run idleLoop until the search ends.
+type pool struct {
+	workers []*worker
+	stop    atomic.Bool // context cancelled
+	done    atomic.Bool // search complete; idle workers exit
+}
+
+// newPool builds the pool with the caller as worker 0. start launches the
+// helper goroutines and the context watcher; the returned finish must be
+// called exactly once after the root search returns. It tears the pool
+// down and returns the total node count.
+func newPool(ctx context.Context, workers int, table *Table) (*pool, func() int64) {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	p := &pool{workers: make([]*worker, workers)}
+	for i := range p.workers {
+		w := &worker{pool: p, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w.table = table
+		w.stop = &p.stop
+		w.dq.init()
+		p.workers[i] = w
+	}
+	var wg sync.WaitGroup
+	watch := make(chan struct{})
+	if done := ctx.Done(); done != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-done:
+				p.stop.Store(true)
+			case <-watch:
+			}
+		}()
+	}
+	for _, w := range p.workers[1:] {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			p.idleLoop(w)
+		}(w)
+	}
+	finish := func() int64 {
+		p.done.Store(true)
+		close(watch)
+		wg.Wait()
+		var nodes int64
+		for _, w := range p.workers {
+			nodes += w.nodes
+		}
+		return nodes
+	}
+	return p, finish
+}
+
+// idleLoop is the life of workers 1..n-1: steal, run, back off when the
+// pool is quiet. The backoff caps at a 1ms sleep, so idle workers cost
+// almost nothing while task discovery latency stays bounded.
+func (p *pool) idleLoop(w *worker) {
+	backoff := 0
+	for !p.done.Load() {
+		t := w.dq.pop()
+		if t == nil {
+			t = p.trySteal(w)
+		}
+		if t != nil {
+			w.runTask(t)
+			backoff = 0
+			continue
+		}
+		backoff++
+		switch {
+		case backoff < 32:
+			runtime.Gosched()
+		case backoff < 64:
+			time.Sleep(20 * time.Microsecond)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// trySteal scans the other workers' deques once, starting at a random
+// victim so thieves do not convoy on worker 0.
+func (p *pool) trySteal(w *worker) *task {
+	n := len(p.workers)
+	if n == 1 {
+		return nil
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := p.workers[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// nextRand is a xorshift64 step for steal-victim randomization.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// runTask executes one speculative sibling with the sequential searcher,
+// reading the freshest shared alpha at start (a stale, wider window only
+// loses sharpness, never correctness). Siblings cut or interrupted on the
+// way report ok=false so their partial values are never merged.
+func (w *worker) runTask(t *task) {
+	sp := t.sp
+	if w.pool.stop.Load() || sp.aborted() {
+		sp.complete(t.idx, 0, false)
+		return
+	}
+	prev := w.sp
+	w.sp = sp
+	v, _ := w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
+	w.sp = prev
+	ok := !w.pool.stop.Load() && !sp.aborted()
+	sp.complete(t.idx, -v, ok)
+}
+
+// join blocks the splitting worker on the split's counter by helping: pop
+// the own deque (the split's own siblings, in move order), then steal, and
+// only then yield. Every pending task is either in a deque (some worker
+// will run it) or already running, so the loop terminates.
+func (w *worker) join(sp *splitPoint) {
+	for sp.pending.Load() > 0 {
+		if t := w.dq.pop(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if t := w.pool.trySteal(w); t != nil {
+			w.runTask(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// newSplit readies a split point over moves[1:] (or all moves when
+// firstIncluded) and pushes the sibling tasks in reverse, so the owner's
+// LIFO pops visit them in the sequential move order while thieves take the
+// most speculative ones from the far end.
+func (w *worker) newSplit(up *splitPoint, alpha, beta, best int64, bestIdx int, moves []Position, depth, from int) *splitPoint {
+	var sp *splitPoint
+	if n := len(w.spFree); n > 0 {
+		sp = w.spFree[n-1]
+		w.spFree = w.spFree[:n-1]
+	} else {
+		sp = new(splitPoint)
+	}
+	sp.up = up
+	sp.beta = beta
+	sp.alpha = alpha
+	sp.best = best
+	sp.bestIdx = bestIdx
+	sp.abort.Store(false)
+	sp.shared.Store(alpha)
+	n := len(moves) - from
+	if cap(sp.tasks) < n {
+		sp.tasks = make([]task, n)
+	} else {
+		sp.tasks = sp.tasks[:n]
+	}
+	sp.pending.Store(int32(n))
+	for i := len(moves) - 1; i >= from; i-- {
+		sp.tasks[i-from] = task{sp: sp, pos: moves[i], idx: i, depth: depth}
+		w.dq.push(&sp.tasks[i-from])
+	}
+	return sp
+}
+
+// releaseSplit recycles a joined split point. Safe: pending has hit zero,
+// so no other worker holds a reference (complete's counter decrement is
+// each sibling's final access).
+func (w *worker) releaseSplit(sp *splitPoint) {
+	clear(sp.tasks) // drop Position references for the GC
+	sp.tasks = sp.tasks[:0]
+	sp.up = nil
+	if len(w.spFree) < 8 {
+		w.spFree = append(w.spFree, sp)
+	}
+}
+
+// search is the pooled cascade: leftmost child first (recursively, exactly
+// as the sequential search would), then the remaining children as
+// stealable speculative tasks with the window established by the first.
+func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitPoint, wantBest bool) (int64, int) {
+	if w.pool.stop.Load() || (encl != nil && encl.aborted()) {
+		return alpha, -1
+	}
+	// Shallow (or horizonless) subtrees are cheaper in place than scheduled.
+	if depth <= seqSplitDepth {
+		prev := w.sp
+		w.sp = encl
+		v, b := w.negamax(pos, depth, alpha, beta, wantBest)
+		w.sp = prev
+		return v, b
+	}
+	w.nodes++
+	moves, scratch := w.genMoves(pos)
+	if len(moves) == 0 {
+		w.putMoves(moves, scratch)
+		return int64(pos.Evaluate()), -1
+	}
+
+	// Phase 1: the leftmost child establishes the window, exactly as the
+	// sequential algorithm would.
+	v0, _ := w.search(moves[0], depth-1, -beta, -alpha, encl, false)
+	best := -v0
+	bestIdx := 0
+	if best > alpha {
+		alpha = best
+	}
+	if alpha >= beta || len(moves) == 1 ||
+		w.pool.stop.Load() || (encl != nil && encl.aborted()) {
+		w.putMoves(moves, scratch)
+		return best, bestIdx
+	}
+
+	// Phase 2: speculative siblings as tasks; help until the join drains.
+	sp := w.newSplit(encl, alpha, beta, best, bestIdx, moves, depth-1, 1)
+	w.putMoves(moves, scratch) // tasks hold their own Position copies
+	w.join(sp)
+	best, bestIdx = sp.best, sp.bestIdx
+	w.releaseSplit(sp)
+	if !wantBest {
+		return best, -1
+	}
+	return best, bestIdx
+}
+
+// searchPooled runs the cascade on a fresh pool, with the calling
+// goroutine as worker 0 (zero handoff cost: with one worker the search is
+// plainly sequential).
+func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table) (Result, error) {
+	p, finish := newPool(ctx, workers, table)
+	v, best := p.workers[0].search(pos, depth, -scoreInf, scoreInf, nil, true)
+	nodes := finish()
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(v), Best: best, Nodes: nodes}, nil
+}
+
+// searchRootSplitPooled is the classical tree-splitting baseline on the
+// pooled substrate: every root move is a task, searched with the shared,
+// atomically tightened alpha; no phase-1 spine, no cutoffs (the root
+// window is full), so its speculation waste is preserved for comparison.
+func searchRootSplitPooled(ctx context.Context, pos Position, depth, workers int) (Result, error) {
+	moves := pos.Moves()
+	if depth == 0 || len(moves) == 0 {
+		return Result{Value: pos.Evaluate(), Best: -1, Nodes: 1}, nil
+	}
+	p, finish := newPool(ctx, workers, nil)
+	w0 := p.workers[0]
+	w0.nodes++ // the root itself
+	sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)
+	w0.join(sp)
+	best, bestIdx := sp.best, sp.bestIdx
+	w0.releaseSplit(sp)
+	nodes := finish()
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(best), Best: bestIdx, Nodes: nodes}, nil
+}

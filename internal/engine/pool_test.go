@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerThieves hammers the Chase-Lev deque: one owner pushing
+// and popping, several thieves stealing. Every task must be delivered
+// exactly once. Run under -race this also exercises the bottom/top
+// handshake.
+func TestDequeOwnerThieves(t *testing.T) {
+	const total = 20000
+	const thieves = 4
+	var d deque
+	d.init()
+	tasks := make([]task, total)
+	taken := make([]atomic.Int32, total)
+	var delivered atomic.Int64
+	grab := func(tk *task) {
+		if tk == nil {
+			return
+		}
+		if taken[tk.idx].Add(1) != 1 {
+			t.Errorf("task %d delivered twice", tk.idx)
+		}
+		delivered.Add(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				grab(d.steal())
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(42))
+	next := 0
+	for next < total || delivered.Load() < total {
+		if next < total && (rng.Intn(3) > 0 || delivered.Load() == int64(next)) {
+			tasks[next].idx = next
+			d.push(&tasks[next])
+			next++
+		} else {
+			grab(d.pop())
+		}
+		if next == total && delivered.Load() < total {
+			grab(d.pop()) // drain what the thieves leave behind
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if delivered.Load() != total {
+		t.Fatalf("delivered %d of %d tasks", delivered.Load(), total)
+	}
+}
+
+// TestPooledMatchesSpawnAndSequential pins the substrate swap: the pooled
+// cascade, the legacy goroutine-per-sibling cascade and the sequential
+// search must agree on every value.
+func TestPooledMatchesSpawnAndSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		depth := 3 + rng.Intn(4)
+		p := buildRandomPos(rng, depth, 4)
+		seq := Search(p, depth)
+		for _, workers := range []int{1, 2, 4, 16} {
+			pooled, err := SearchParallel(context.Background(), p, depth, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spawn, err := searchParallelSpawn(context.Background(), p, depth, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pooled.Value != seq.Value || spawn.Value != seq.Value {
+				t.Fatalf("trial %d workers %d: pooled %d spawn %d sequential %d",
+					trial, workers, pooled.Value, spawn.Value, seq.Value)
+			}
+		}
+	}
+}
+
+// TestPooledNodeParityOneWorker: with a single worker the pooled cascade
+// pops its own tasks in move order with the freshest window — it IS the
+// sequential search, node for node (above the sequential-handoff horizon
+// both visit the same set).
+func TestPooledNodeParityOneWorker(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		depth := 4 + rng.Intn(3)
+		p := buildRandomPos(rng, depth, 4)
+		seq := Search(p, depth)
+		pooled, err := SearchParallel(context.Background(), p, depth, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.Nodes != seq.Nodes {
+			t.Fatalf("trial %d: pooled(1 worker) visited %d nodes, sequential %d",
+				trial, pooled.Nodes, seq.Nodes)
+		}
+	}
+}
+
+// TestSearchParallelRace is the -race stress test of the pooled
+// substrate: many workers, deep trees, a shared transposition table, and
+// several concurrent top-level searches over the same table.
+func TestSearchParallelRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var next uint64
+	pos := buildHashed(rng, 7, 3, &next)
+	want := Search(pos, 7).Value
+	table := NewTable(1 << 10) // tiny: force constant bucket collisions
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				r, err := SearchParallelTT(context.Background(), pos, 7,
+					SearchOptions{Table: table, Workers: 8})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.Value != want {
+					t.Errorf("concurrent pooled search: %d want %d", r.Value, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPooledCancellationMidSearch: cancelling while workers are stealing
+// must stop the pool promptly and report ErrCancelled.
+func TestPooledCancellationMidSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	p := buildRandomPos(rng, 12, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := SearchParallel(ctx, p, 12, 8)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && err != ErrCancelled {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestScratchBufferReuse: a MoveAppender position searched through the
+// engine must see recycled buffers (the free list grows to the recursion
+// depth, not the node count) and still produce the plain-Moves value.
+func TestScratchBufferReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 10; trial++ {
+		depth := 3 + rng.Intn(3)
+		p := buildRandomPos(rng, depth, 4)
+		a := appendPos{p}
+		plain := Search(p, depth)
+		viaAppend := Search(a, depth)
+		if plain.Value != viaAppend.Value || plain.Nodes != viaAppend.Nodes {
+			t.Fatalf("trial %d: append path %v != plain %v", trial, viaAppend, plain)
+		}
+		par, err := SearchParallel(context.Background(), a, depth, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Value != plain.Value {
+			t.Fatalf("trial %d: parallel append path %d != %d", trial, par.Value, plain.Value)
+		}
+	}
+}
+
+// appendPos wraps treePos with a MoveAppender implementation.
+type appendPos struct{ p *treePos }
+
+func (a appendPos) Evaluate() int32 { return a.p.Evaluate() }
+
+func (a appendPos) Moves() []Position { return a.AppendMoves(nil) }
+
+func (a appendPos) AppendMoves(dst []Position) []Position {
+	dst = dst[:0]
+	for _, k := range a.p.kids {
+		dst = append(dst, appendPos{k})
+	}
+	return dst
+}

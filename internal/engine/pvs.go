@@ -13,21 +13,23 @@ import "context"
 // search. It returns the same value as Search. An optional transposition
 // table (opt.Table) accelerates both tests and re-searches.
 func SearchPVS(pos Position, depth int, opt SearchOptions) Result {
+	opt.Table.Advance()
 	e := &searcher{ctx: context.Background(), table: opt.Table}
 	v, best := e.pvs(pos, depth, -scoreInf, scoreInf)
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes.Load()}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
 }
 
 func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) {
-	n := e.nodes.Add(1)
-	if n&checkMask == 0 && e.cancelled() {
+	e.nodes++
+	if e.nodes&checkMask == 0 && e.interrupted() {
 		return alpha, -1
 	}
 	if depth == 0 {
 		return int64(pos.Evaluate()), -1
 	}
-	moves := pos.Moves()
+	moves, scratch := e.genMoves(pos)
 	if len(moves) == 0 {
+		e.putMoves(moves, scratch)
 		return int64(pos.Evaluate()), -1
 	}
 
@@ -44,6 +46,7 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 				if d >= depth {
 					switch flag {
 					case boundExact:
+						e.putMoves(moves, scratch)
 						return int64(v), ttBest
 					case boundLower:
 						if int64(v) > alpha {
@@ -55,6 +58,7 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 						}
 					}
 					if alpha >= beta {
+						e.putMoves(moves, scratch)
 						return int64(v), ttBest
 					}
 				}
@@ -100,7 +104,7 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 			break
 		}
 	}
-	if hashed && !e.cancelled() {
+	if hashed && !e.interrupted() {
 		flag := boundExact
 		switch {
 		case best <= alpha0:
@@ -110,5 +114,6 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 		}
 		e.table.Store(hash, int32(best), depth, flag, bestIdx)
 	}
+	e.putMoves(moves, scratch)
 	return best, bestIdx
 }

@@ -1,10 +1,6 @@
 package engine
 
-import (
-	"context"
-	"sync"
-	"sync/atomic"
-)
+import "context"
 
 // SearchRootSplit is the classical "tree splitting" parallelization the
 // paper contrasts with (its references [2] Baudet and [4] Finkel &
@@ -12,64 +8,10 @@ import (
 // searched sequentially with a shared, atomically-tightened alpha. It is
 // simple and embarrassingly parallel but — unlike the cascade — wastes
 // work exactly where alpha-beta's sequential dependence matters most, so
-// its speedup saturates early; the engine keeps it as a baseline.
+// its speedup saturates early; the engine keeps it as a baseline. It runs
+// on the same pooled work-stealing substrate as SearchParallel: every
+// root move is a stealable task (there is no phase-1 spine and the root
+// window is full, so the characteristic speculation waste is preserved).
 func SearchRootSplit(ctx context.Context, pos Position, depth, workers int) (Result, error) {
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	moves := pos.Moves()
-	if depth == 0 || len(moves) == 0 {
-		return Result{Value: pos.Evaluate(), Best: -1, Nodes: 1}, nil
-	}
-
-	var sharedAlpha atomic.Int64
-	sharedAlpha.Store(-scoreInf)
-	type res struct {
-		idx int
-		val int64
-	}
-	results := make(chan res, len(moves))
-	var nodes atomic.Int64
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, m := range moves {
-		wg.Add(1)
-		go func(i int, m Position) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				results <- res{i, -scoreInf}
-				return
-			}
-			e := &searcher{ctx: ctx}
-			// Each worker reads the freshest shared alpha at start; a
-			// stale (smaller) alpha is sound, merely less sharp.
-			v, _ := e.negamax(m, depth-1, -scoreInf, -sharedAlpha.Load(), false)
-			v = -v
-			nodes.Add(e.nodes.Load())
-			// Monotonically raise the shared alpha.
-			for {
-				cur := sharedAlpha.Load()
-				if v <= cur || sharedAlpha.CompareAndSwap(cur, v) {
-					break
-				}
-			}
-			results <- res{i, v}
-		}(i, m)
-	}
-	go func() { wg.Wait(); close(results) }()
-
-	best := int64(-scoreInf)
-	bestIdx := -1
-	for r := range results {
-		if r.val > best {
-			best, bestIdx = r.val, r.idx
-		}
-	}
-	if ctx.Err() != nil {
-		return Result{}, ErrCancelled
-	}
-	return Result{Value: int32(best), Best: bestIdx, Nodes: nodes.Load() + 1}, nil
+	return searchRootSplitPooled(ctx, pos, depth, workers)
 }

@@ -20,71 +20,153 @@ const (
 	boundUpper
 )
 
+// Entry packing: [ value:32 | depth:10 | gen:6 | flag:2 | best:14 ].
+const (
+	ttDepthBits = 10
+	ttDepthMax  = 1<<ttDepthBits - 1 // also stands in for "no horizon"
+	ttGenBits   = 6
+	ttGenMask   = 1<<ttGenBits - 1
+	ttBestBits  = 14
+	ttNoMove    = 1<<ttBestBits - 1 // sentinel: no move
+
+	// bucketWays entries share a bucket; at 16 bytes per entry a 4-way
+	// bucket is exactly one 64-byte cache line.
+	bucketWays = 4
+
+	// ttAgePenalty is the replacement-score cost of each generation of
+	// age: a stale deep entry loses to a current shallow one once it is
+	// depth/ttAgePenalty generations old.
+	ttAgePenalty = 8
+)
+
 // Table is a fixed-size lock-free transposition table shared between
-// goroutines. Each entry is a pair of 64-bit words written atomically
-// with the standard XOR validation trick (key^data, data): a torn
-// read/write is detected by the checksum failing, never returned as a
-// wrong entry. Collisions overwrite (replace-always), which is safe
-// because table hits are advisory.
+// goroutines. Entries are grouped into 4-way buckets (one cache line);
+// each entry is a pair of 64-bit words written atomically with the
+// standard XOR validation trick (key^data, data): a torn read/write is
+// detected by the checksum failing, never returned as a wrong entry.
+// Within a bucket, replacement is depth-preferred with generation aging —
+// a same-position entry is always updated, otherwise an empty slot is
+// taken, otherwise the entry with the lowest depth-minus-age score is
+// evicted — so deep results no longer vanish to replace-always
+// collisions. Hits are advisory either way.
 type Table struct {
-	words []atomic.Uint64 // 2 per entry
-	mask  uint64
+	words []atomic.Uint64 // 2 per entry, bucketWays entries per bucket
+	mask  uint64          // bucket-index mask
+	gen   atomic.Uint32   // current generation (aging clock)
 }
 
 // NewTable allocates a table with at least the given number of entries
-// (rounded up to a power of two). Sizes below 1 panic.
+// (rounded up so the bucket count is a power of two). Sizes below 1 panic.
 func NewTable(entries int) *Table {
 	if entries < 1 {
 		panic("engine: table needs at least one entry")
 	}
-	n := 1 << bits.Len(uint(entries-1))
-	return &Table{words: make([]atomic.Uint64, 2*n), mask: uint64(n - 1)}
+	buckets := (entries + bucketWays - 1) / bucketWays
+	n := 1 << bits.Len(uint(buckets-1))
+	return &Table{words: make([]atomic.Uint64, 2*bucketWays*n), mask: uint64(n - 1)}
 }
 
-// pack encodes value, depth, flag and best-move index into one word:
-// [ value:32 | depth:16 | flag:2 | best:14 ].
-func packEntry(value int32, depth int, flag uint64, best int) uint64 {
-	if best < 0 || best >= 1<<14-1 {
-		best = 1<<14 - 1 // sentinel: no move
+// Advance bumps the aging clock. Call it once per top-level search so
+// entries from earlier searches become progressively cheaper to evict.
+func (t *Table) Advance() {
+	if t != nil {
+		t.gen.Add(1)
 	}
-	return uint64(uint32(value))<<32 | uint64(uint16(depth))<<16 | flag<<14 | uint64(best)
+}
+
+// packEntry encodes value, depth, flag, best-move index and generation
+// into one word. Negative depths (depth-unlimited searches, which carry
+// exact-to-terminal results) and depths beyond the field width clamp to
+// ttDepthMax, so a later `stored >= wanted` probe comparison stays sound
+// instead of wrapping around.
+func packEntry(value int32, depth int, flag uint64, best, gen int) uint64 {
+	if depth < 0 || depth > ttDepthMax {
+		depth = ttDepthMax
+	}
+	if best < 0 || best >= ttNoMove {
+		best = ttNoMove
+	}
+	return uint64(uint32(value))<<32 | uint64(depth)<<22 |
+		uint64(gen&ttGenMask)<<16 | flag<<14 | uint64(best)
 }
 
 func unpackEntry(d uint64) (value int32, depth int, flag uint64, best int) {
 	value = int32(uint32(d >> 32))
-	depth = int(uint16(d >> 16))
+	depth = int(d >> 22 & ttDepthMax)
 	flag = (d >> 14) & 3
-	best = int(d & (1<<14 - 1))
-	if best == 1<<14-1 {
+	best = int(d & ttNoMove)
+	if best == ttNoMove {
 		best = -1
 	}
 	return
 }
+
+func entryGen(d uint64) int { return int(d >> 16 & ttGenMask) }
 
 // Store records a search result for the position with the given hash.
 func (t *Table) Store(hash uint64, value int32, depth int, flag uint64, best int) {
 	if t == nil {
 		return
 	}
-	d := packEntry(value, depth, flag, best)
-	i := (hash & t.mask) * 2
-	t.words[i].Store(hash ^ d)
-	t.words[i+1].Store(d)
+	gen := int(t.gen.Load())
+	d := packEntry(value, depth, flag, best, gen)
+	base := (hash & t.mask) * (2 * bucketWays)
+	slot := base
+	empty, victim := uint64(0), uint64(0)
+	haveEmpty, haveVictim := false, false
+	minScore := 0
+	for s := uint64(0); s < bucketWays; s++ {
+		i := base + 2*s
+		k := t.words[i].Load()
+		e := t.words[i+1].Load()
+		if k^e == hash {
+			// Same position: always refresh.
+			slot = i
+			goto write
+		}
+		if k == 0 && e == 0 {
+			if !haveEmpty {
+				empty, haveEmpty = i, true
+			}
+			continue
+		}
+		_, edepth, _, _ := unpackEntry(e)
+		score := edepth - ttAgePenalty*((gen-entryGen(e))&ttGenMask)
+		if !haveVictim || score < minScore {
+			victim, haveVictim, minScore = i, true, score
+		}
+	}
+	switch {
+	case haveEmpty:
+		slot = empty
+	case haveVictim:
+		slot = victim
+	}
+write:
+	t.words[slot].Store(hash ^ d)
+	t.words[slot+1].Store(d)
 }
 
-// Probe looks the position up. ok is false on a miss (or a torn entry).
+// Probe looks the position up across its bucket. ok is false on a miss
+// (or a torn entry).
 func (t *Table) Probe(hash uint64) (value int32, depth int, flag uint64, best int, ok bool) {
 	if t == nil {
 		return 0, 0, 0, -1, false
 	}
-	i := (hash & t.mask) * 2
-	k := t.words[i].Load()
-	d := t.words[i+1].Load()
-	if k^d != hash {
-		return 0, 0, 0, -1, false
+	base := (hash & t.mask) * (2 * bucketWays)
+	for s := uint64(0); s < bucketWays; s++ {
+		i := base + 2*s
+		k := t.words[i].Load()
+		d := t.words[i+1].Load()
+		if k|d == 0 {
+			continue // empty slot (also rejects phantom hash-0 hits)
+		}
+		if k^d == hash {
+			value, depth, flag, best = unpackEntry(d)
+			return value, depth, flag, best, true
+		}
 	}
-	value, depth, flag, best = unpackEntry(d)
-	return value, depth, flag, best, true
+	return 0, 0, 0, -1, false
 }
 
 // Len returns the capacity in entries.

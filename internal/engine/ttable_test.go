@@ -9,19 +9,67 @@ import (
 )
 
 func TestEntryPackRoundTrip(t *testing.T) {
-	f := func(value int32, depth uint16, flag uint8, best uint16) bool {
+	f := func(value int32, depth uint16, flag uint8, best uint16, gen uint8) bool {
 		fl := uint64(flag % 3)
 		b := int(best % 1000)
-		d := int(depth)
-		v2, d2, f2, b2 := unpackEntry(packEntry(value, d, fl, b))
-		return v2 == value && d2 == d && f2 == fl && b2 == b
+		d := int(depth) % (ttDepthMax + 1)
+		g := int(gen) & ttGenMask
+		e := packEntry(value, d, fl, b, g)
+		v2, d2, f2, b2 := unpackEntry(e)
+		return v2 == value && d2 == d && f2 == fl && b2 == b && entryGen(e) == g
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 	// The no-move sentinel round-trips to -1.
-	if _, _, _, b := unpackEntry(packEntry(5, 3, boundExact, -1)); b != -1 {
+	if _, _, _, b := unpackEntry(packEntry(5, 3, boundExact, -1, 0)); b != -1 {
 		t.Errorf("sentinel best = %d", b)
+	}
+}
+
+// Negative depths (depth-unlimited searches) used to wrap to 65535 via the
+// uint16 conversion, making every later `stored >= wanted` probe
+// comparison bogus; they must clamp to the "no horizon" maximum instead.
+func TestNegativeDepthClamps(t *testing.T) {
+	for _, depth := range []int{-1, -5, -1 << 20} {
+		if _, d, _, _ := unpackEntry(packEntry(9, depth, boundExact, 2, 0)); d != ttDepthMax {
+			t.Errorf("packEntry(depth=%d) round-trips to %d, want %d", depth, d, ttDepthMax)
+		}
+	}
+	// Over-wide positive depths clamp too, rather than corrupting fields.
+	if _, d, _, _ := unpackEntry(packEntry(9, ttDepthMax+1, boundExact, 2, 0)); d != ttDepthMax {
+		t.Errorf("oversized depth round-trips to %d, want %d", d, ttDepthMax)
+	}
+	tab := NewTable(64)
+	tab.Store(77, 3, -1, boundExact, 1)
+	v, d, _, _, ok := tab.Probe(77)
+	if !ok || v != 3 || d != ttDepthMax {
+		t.Errorf("stored depth -1: got v=%d d=%d ok=%v, want v=3 d=%d", v, d, ok, ttDepthMax)
+	}
+	// A depth-unlimited entry satisfies any probe's depth requirement.
+	if d < 20 || d < -1 {
+		t.Errorf("clamped depth %d does not dominate finite requests", d)
+	}
+}
+
+// A depth-unlimited (negative depth) search must return the same exact
+// values with and without a transposition table — the regression the old
+// uint16 wraparound broke.
+func TestSearchTTDepthUnlimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		var next uint64
+		pos := buildHashed(rng, 3+rng.Intn(3), 3, &next)
+		plain := Search(pos, -1)
+		tab := NewTable(1 << 12)
+		tt := SearchTT(pos, -1, SearchOptions{Table: tab})
+		if plain.Value != tt.Value {
+			t.Fatalf("trial %d: plain %d != tt %d", trial, plain.Value, tt.Value)
+		}
+		// A second pass over the warm table must agree as well.
+		if again := SearchTT(pos, -1, SearchOptions{Table: tab}); again.Value != plain.Value {
+			t.Fatalf("trial %d: warm tt %d != plain %d", trial, again.Value, plain.Value)
+		}
 	}
 }
 
@@ -38,18 +86,60 @@ func TestTableStoreProbe(t *testing.T) {
 	if _, _, _, _, ok := tab.Probe(43); ok {
 		t.Error("phantom hit")
 	}
-	// Colliding key (same slot, different hash) must not false-hit.
-	tab.Store(42+1024, 9, 1, boundExact, 0)
-	if v, _, _, _, ok := tab.Probe(42); ok && v == -7 {
-		t.Error("stale entry survived overwrite with intact checksum")
+	// Same-position stores refresh in place.
+	tab.Store(42, 11, 6, boundExact, 3)
+	if v, d, _, _, ok := tab.Probe(42); !ok || v != 11 || d != 6 {
+		t.Errorf("refresh lost: %v %v %v", v, d, ok)
 	}
-	if v, _, _, _, ok := tab.Probe(42 + 1024); !ok || v != 9 {
-		t.Error("overwriting entry lost")
+	// A colliding hash (same bucket) lands in another way of the 4-way
+	// bucket: both entries survive, and neither false-hits the other.
+	other := uint64(42 + 4*tab.Len())
+	tab.Store(other, 9, 1, boundExact, 0)
+	if v, _, _, _, ok := tab.Probe(42); !ok || v != 11 {
+		t.Error("bucketed entry evicted by a single collision")
+	}
+	if v, _, _, _, ok := tab.Probe(other); !ok || v != 9 {
+		t.Error("colliding entry lost")
 	}
 	var nilTab *Table
 	nilTab.Store(1, 1, 1, boundExact, 0) // must not panic
+	nilTab.Advance()
 	if _, _, _, _, ok := nilTab.Probe(1); ok {
 		t.Error("nil table hit")
+	}
+}
+
+// Depth-preferred aging replacement: when a bucket overflows, the
+// shallowest stale entry goes first and deep current entries survive.
+func TestTableBucketReplacement(t *testing.T) {
+	tab := NewTable(bucketWays) // a single bucket
+	buckets := uint64(tab.Len() / bucketWays)
+	// Fill the bucket with same-bucket hashes at increasing depths.
+	for i := 0; i < bucketWays; i++ {
+		tab.Store(uint64(i)*buckets, int32(i), i+2, boundExact, 0)
+	}
+	// Overflow with a deep entry: the shallowest (depth 2) is evicted.
+	extra := uint64(bucketWays) * buckets
+	tab.Store(extra, 99, 9, boundExact, 0)
+	if _, _, _, _, ok := tab.Probe(0); ok {
+		t.Error("shallowest entry should have been evicted")
+	}
+	if v, _, _, _, ok := tab.Probe(extra); !ok || v != 99 {
+		t.Error("new deep entry missing")
+	}
+	for i := 1; i < bucketWays; i++ {
+		if _, _, _, _, ok := tab.Probe(uint64(i) * buckets); !ok {
+			t.Errorf("deeper entry %d lost", i)
+		}
+	}
+	// Aging: after many generations, even a deep entry yields to a
+	// current shallow one.
+	for i := 0; i < ttGenMask; i++ {
+		tab.Advance()
+	}
+	tab.Store(extra+buckets, 7, 3, boundExact, 0)
+	if v, _, _, _, ok := tab.Probe(extra + buckets); !ok || v != 7 {
+		t.Error("current shallow entry could not displace stale deep ones")
 	}
 }
 

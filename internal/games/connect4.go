@@ -89,10 +89,16 @@ func (p *Connect4) lastWon() bool {
 // standard ordering heuristic, which the paper's left-to-right semantics
 // reward).
 func (p *Connect4) Moves() []engine.Position {
+	return p.AppendMoves(nil)
+}
+
+// AppendMoves implements engine.MoveAppender: the successors of Moves
+// appended to dst, so the engine can recycle per-worker move buffers.
+func (p *Connect4) AppendMoves(dst []engine.Position) []engine.Position {
+	dst = dst[:0]
 	if p.lastWon() {
-		return nil
+		return dst
 	}
-	var out []engine.Position
 	mid := p.W / 2
 	for off := 0; off < p.W; off++ {
 		cols := [2]int{mid - off, mid + off}
@@ -104,11 +110,11 @@ func (p *Connect4) Moves() []engine.Position {
 				continue
 			}
 			if q := p.Drop(c); q != nil {
-				out = append(out, q)
+				dst = append(dst, q)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Evaluate scores the position for the side to move: loss if the opponent
@@ -176,7 +182,10 @@ func (p *Connect4) String() string {
 	return b.String()
 }
 
-var _ engine.Position = (*Connect4)(nil)
+var (
+	_ engine.Position     = (*Connect4)(nil)
+	_ engine.MoveAppender = (*Connect4)(nil)
+)
 
 // Hash returns a position hash (FNV-1a over the grid and mover),
 // enabling the engine's transposition table.

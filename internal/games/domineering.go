@@ -45,25 +45,31 @@ func (p *Domineering) place(a, b int) *Domineering {
 
 // Moves returns every legal domino placement for the side to move.
 func (p *Domineering) Moves() []engine.Position {
-	var out []engine.Position
+	return p.AppendMoves(nil)
+}
+
+// AppendMoves implements engine.MoveAppender: every legal domino placement
+// appended to dst, letting the engine recycle per-worker move buffers.
+func (p *Domineering) AppendMoves(dst []engine.Position) []engine.Position {
+	dst = dst[:0]
 	if p.VerticalToMove {
 		for r := 0; r+1 < p.H; r++ {
 			for c := 0; c < p.W; c++ {
 				if !p.at(c, r) && !p.at(c, r+1) {
-					out = append(out, p.place(r*p.W+c, (r+1)*p.W+c))
+					dst = append(dst, p.place(r*p.W+c, (r+1)*p.W+c))
 				}
 			}
 		}
-		return out
+		return dst
 	}
 	for r := 0; r < p.H; r++ {
 		for c := 0; c+1 < p.W; c++ {
 			if !p.at(c, r) && !p.at(c+1, r) {
-				out = append(out, p.place(r*p.W+c, r*p.W+c+1))
+				dst = append(dst, p.place(r*p.W+c, r*p.W+c+1))
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Evaluate: a player with no moves has lost. Non-terminal positions score
@@ -118,3 +124,4 @@ func (p *Domineering) String() string {
 
 var _ engine.Position = (*Domineering)(nil)
 var _ engine.Hasher = (*Domineering)(nil)
+var _ engine.MoveAppender = (*Domineering)(nil)

@@ -45,11 +45,17 @@ func (p TTT) Winner() int8 {
 
 // Moves returns the successor positions (engine.Position).
 func (p TTT) Moves() []engine.Position {
+	return p.AppendMoves(nil)
+}
+
+// AppendMoves implements engine.MoveAppender: the successors of Moves
+// appended to dst, so the engine can recycle per-worker move buffers.
+func (p TTT) AppendMoves(dst []engine.Position) []engine.Position {
+	dst = dst[:0]
 	if p.Winner() != 0 {
-		return nil
+		return dst
 	}
 	me := p.mover()
-	var out []engine.Position
 	for i, c := range p.Cells {
 		if c != 0 {
 			continue
@@ -57,9 +63,9 @@ func (p TTT) Moves() []engine.Position {
 		q := p
 		q.Cells[i] = me
 		q.ToMove = 3 - me
-		out = append(out, q)
+		dst = append(dst, q)
 	}
-	return out
+	return dst
 }
 
 // Evaluate scores the position for the side to move: a lost position (the
@@ -135,7 +141,10 @@ func ParseTTT(s string) (TTT, error) {
 	return p, nil
 }
 
-var _ engine.Position = TTT{}
+var (
+	_ engine.Position     = TTT{}
+	_ engine.MoveAppender = TTT{}
+)
 
 // Hash returns a position hash (FNV-1a over the cells and mover),
 // enabling the engine's transposition table.
