@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-engine vet
+.PHONY: all build test race bench bench-engine bench-smoke vet lint
 
 all: build test
 
@@ -10,20 +10,38 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector stress of the concurrent subsystems: the pooled
-# work-stealing engine (and its shared transposition table), the real-game
-# stress tests, and the message-passing evaluator.
+# Race-detector pass over every package, with -short so the heavyweight
+# stress loops run their reduced forms (the full forms run in `test`).
+# This includes the telemetry snapshot-under-race tests: counters are read
+# concurrently with live searches and must stay race-clean.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/games/ ./internal/msgpass/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Substrate benchmarks (pooled vs spawn vs sequential) plus the
-# machine-readable BENCH_engine.json artifact.
+# machine-readable BENCH_engine.json artifact with its telemetry section.
 bench-engine:
 	$(GO) test -bench='BenchmarkEnginePooled' -benchmem -run='^$$' ./internal/engine/
 	$(GO) run ./cmd/gtbench -enginebench BENCH_engine.json
 
+# CI bench smoke: one benchmark iteration to prove the harness runs, then
+# a fresh enginebench document validated by the -checkbench gate (schema,
+# pooled >= sequential on the split-dense workload, single-worker
+# telemetry sanity).
+bench-smoke:
+	$(GO) test -bench='BenchmarkEnginePooled' -benchtime=1x -run='^$$' ./internal/engine/
+	$(GO) run ./cmd/gtbench -enginebench /tmp/bench-smoke.json -enginereps 2
+	$(GO) run ./cmd/gtbench -checkbench /tmp/bench-smoke.json
+
 vet:
+	$(GO) vet ./...
+
+# Lint gate used by CI: gofmt must be a no-op and vet must be clean.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...

@@ -31,6 +31,7 @@ import (
 
 	"gametree/internal/engine"
 	"gametree/internal/games"
+	"gametree/internal/telemetry"
 )
 
 const engineBenchSchema = "gametree/bench-engine/v1"
@@ -41,6 +42,19 @@ type engineBenchDoc struct {
 	Commit    string            `json:"commit"`
 	Machine   machineInfo       `json:"machine"`
 	Results   []engineBenchItem `json:"benchmarks"`
+	// Telemetry holds one search-telemetry report per instrumented
+	// configuration (an extra, untimed run — the timed rows above stay
+	// uninstrumented). See internal/telemetry for counter semantics.
+	Telemetry []telemetryEntry `json:"telemetry,omitempty"`
+}
+
+// telemetryEntry pairs a telemetry report with the configuration that
+// produced it.
+type telemetryEntry struct {
+	Workload string           `json:"workload"`
+	Name     string           `json:"name"`
+	Workers  int              `json:"workers"`
+	Report   telemetry.Report `json:"report"`
 }
 
 type machineInfo struct {
@@ -159,8 +173,76 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 	return items, nil
 }
 
+// collectTelemetry runs one instrumented pooled search per configuration
+// of interest and returns the resulting reports. These runs are untimed —
+// the timed benchmark rows stay uninstrumented so the trajectory is not
+// polluted by counter overhead. When tracePath is non-empty the tree
+// workload's split-point spans are written there as Chrome trace_event
+// JSON (load via chrome://tracing or Perfetto).
+func collectTelemetry(depth int, tracePath string) ([]telemetryEntry, error) {
+	ctx := context.Background()
+	maxWorkers := runtime.GOMAXPROCS(0)
+	var entries []telemetryEntry
+
+	run := func(workload, name string, workers int, rec *telemetry.Recorder, pos engine.Position, d int, table *engine.Table) error {
+		if _, err := engine.SearchParallelOpt(ctx, pos, d,
+			engine.SearchOptions{Table: table, Workers: workers, Telemetry: rec}); err != nil {
+			return fmt.Errorf("telemetry %s/%s(workers=%d): %w", workload, name, workers, err)
+		}
+		entries = append(entries, telemetryEntry{
+			Workload: workload, Name: name, Workers: workers,
+			Report: rec.Snapshot().Report(),
+		})
+		return nil
+	}
+
+	// Split-dense synthetic tree: one single-worker run (steal counters
+	// must read zero there) and one at 4-way concurrency so steal and
+	// abort-drain figures are populated even on narrow hosts.
+	tree := engine.NewPessimalTree(8, 4, 0)
+	rec := telemetry.NewRecorder()
+	if err := run("tree", "pooled", 1, rec, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+		return nil, err
+	}
+	traced := telemetry.NewRecorder()
+	if tracePath != "" {
+		traced.EnableTrace(0)
+	}
+	concurrency := 4
+	if maxWorkers > concurrency {
+		concurrency = maxWorkers
+	}
+	if err := run("tree", "pooled", concurrency, traced, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+		return nil, err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := traced.WriteTrace(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Real game with a shared transposition table: TT probe/hit/eviction
+	// counters are the signal here.
+	ttRec := telemetry.NewRecorder()
+	if err := run("connect4", "pooled_tt", maxWorkers, ttRec,
+		games.StandardConnect4(), depth, engine.NewTable(1<<18)); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
 // runEngineBench measures both workloads and writes the document to path.
-func runEngineBench(path string, depth, reps int) error {
+// When tracePath is non-empty, the instrumented tree run also emits a
+// Chrome trace_event file there.
+func runEngineBench(path string, depth, reps int, tracePath string) error {
 	tree := engine.NewPessimalTree(8, 4, 0)
 	items, err := benchWorkload("tree", tree, (*engine.BenchTreeAppender)(tree), 8, reps)
 	if err != nil {
@@ -191,6 +273,11 @@ func runEngineBench(path string, depth, reps int) error {
 	}
 	items = append(items, tt)
 
+	entries, err := collectTelemetry(depth, tracePath)
+	if err != nil {
+		return err
+	}
+
 	doc := engineBenchDoc{
 		Schema:    engineBenchSchema,
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -202,13 +289,72 @@ func runEngineBench(path string, depth, reps int) error {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			GoVersion:  runtime.Version(),
 		},
-		Results: items,
+		Results:   items,
+		Telemetry: entries,
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// checkEngineBench validates a BENCH_engine.json document — the CI
+// bench-smoke gate. It asserts that the JSON parses against the current
+// schema, that every workload has a sequential baseline and at least one
+// pooled row, and that on the split-dense "tree" workload the best pooled
+// configuration is at least as fast as sequential (that workload has a
+// multiple-x margin, so the assertion is robust to CI-runner noise; the
+// connect4 ratio hovers near 1.0 on narrow hosts and is deliberately not
+// gated).
+func checkEngineBench(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc engineBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != engineBenchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, engineBenchSchema)
+	}
+	seq := map[string]float64{}
+	bestPooled := map[string]float64{}
+	for _, it := range doc.Results {
+		if it.NodesPerSec <= 0 {
+			return fmt.Errorf("%s: %s/%s has non-positive nodes_per_sec", path, it.Workload, it.Name)
+		}
+		switch it.Name {
+		case "sequential":
+			seq[it.Workload] = it.NodesPerSec
+		case "pooled":
+			if it.NodesPerSec > bestPooled[it.Workload] {
+				bestPooled[it.Workload] = it.NodesPerSec
+			}
+		}
+	}
+	for _, workload := range []string{"tree", "connect4"} {
+		if seq[workload] == 0 {
+			return fmt.Errorf("%s: missing sequential baseline for workload %q", path, workload)
+		}
+		if bestPooled[workload] == 0 {
+			return fmt.Errorf("%s: missing pooled rows for workload %q", path, workload)
+		}
+	}
+	if bestPooled["tree"] < seq["tree"] {
+		return fmt.Errorf("%s: best pooled tree throughput %.0f nodes/s below sequential %.0f",
+			path, bestPooled["tree"], seq["tree"])
+	}
+	for _, te := range doc.Telemetry {
+		if te.Workers == 1 && (te.Report.Steals != 0 || te.Report.StealAttempts != 0) {
+			return fmt.Errorf("%s: single-worker telemetry reports steals (%d attempts, %d steals)",
+				path, te.Report.StealAttempts, te.Report.Steals)
+		}
+	}
+	fmt.Printf("checkbench %s: ok (%d benchmark rows, %d telemetry entries, tree pooled/seq %.2fx)\n",
+		path, len(doc.Results), len(doc.Telemetry), bestPooled["tree"]/seq["tree"])
+	return nil
 }
 
 // vcsRevision digs the commit hash out of the build info; "unknown" when

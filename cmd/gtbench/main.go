@@ -11,12 +11,22 @@
 //	gtbench -enginebench BENCH_engine.json
 //	                        # engine substrate benchmark only: write the
 //	                        # machine-readable BENCH_engine.json document
+//	gtbench -enginebench BENCH_engine.json -telemetry trace.json
+//	                        # ... and a Chrome trace_event file of the
+//	                        # instrumented run (chrome://tracing, Perfetto)
+//	gtbench -checkbench BENCH_engine.json
+//	                        # validate a previously written document (CI)
+//	gtbench -pprof localhost:6060 ...
+//	                        # serve net/http/pprof + expvar while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,8 +47,24 @@ func main() {
 		engineBench = flag.String("enginebench", "", "write the engine substrate benchmark to this JSON file and exit")
 		engineDepth = flag.Int("enginedepth", 8, "search depth for -enginebench")
 		engineReps  = flag.Int("enginereps", 5, "repetitions per configuration for -enginebench")
+
+		checkBench   = flag.String("checkbench", "", "validate an -enginebench JSON document and exit (CI smoke gate)")
+		telemetryOut = flag.String("telemetry", "", "with -enginebench: also write a Chrome trace_event file of the instrumented run")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
+
+	if *checkBench != "" {
+		if err := checkEngineBench(*checkBench); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *engineBench != "" {
 		if *engineDepth < 1 || *engineReps < 1 {
@@ -46,7 +72,7 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		if err := runEngineBench(*engineBench, *engineDepth, *engineReps); err != nil {
+		if err := runEngineBench(*engineBench, *engineDepth, *engineReps, *telemetryOut); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
 		}
@@ -107,6 +133,20 @@ func main() {
 		fmt.Printf("\n(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Printf("suite completed in %s\n", time.Since(total).Round(time.Millisecond))
+}
+
+// startPprof serves the default mux — which the blank net/http/pprof
+// import populates with /debug/pprof/ and the expvar import with
+// /debug/vars — on addr, in the background. Profile a live run with e.g.
+// `go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10`.
+func startPprof(addr string) {
+	expvar.NewString("gtbench_start").Set(time.Now().UTC().Format(time.RFC3339))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench: pprof server:", err)
+		}
+	}()
+	fmt.Printf("pprof/expvar listening on http://%s/debug/pprof/\n", addr)
 }
 
 func writeTable(dir, name string, render func(io.Writer) error) {

@@ -6,13 +6,20 @@
 //	gtplay -game ttt
 //	gtplay -game connect4 -depth 9 -workers 8
 //	gtplay -game connect4 -selfplay       # engine vs engine
+//	gtplay -game connect4 -selfplay -telemetry trace.json
+//	                                      # + counters on exit, Chrome trace
+//	gtplay -pprof localhost:6060 ...      # live pprof/expvar while playing
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -25,26 +32,53 @@ import (
 
 func main() {
 	var (
-		game     = flag.String("game", "ttt", "ttt, connect4, nim, kayles or domineering")
-		depth    = flag.Int("depth", 9, "search depth")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
-		selfplay = flag.Bool("selfplay", false, "engine plays both sides")
+		game         = flag.String("game", "ttt", "ttt, connect4, nim, kayles or domineering")
+		depth        = flag.Int("depth", 9, "search depth")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		selfplay     = flag.Bool("selfplay", false, "engine plays both sides")
+		telemetryOut = flag.String("telemetry", "", "record search telemetry across the game; write a Chrome trace_event file here and print the counter report on exit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while playing")
 	)
 	flag.Parse()
+
+	// One recorder spans the whole game: every engine move accumulates
+	// into the same counters, so the exit report covers the session.
+	var rec *gametree.TelemetryRecorder
+	if *telemetryOut != "" || *pprofAddr != "" {
+		rec = gametree.NewTelemetryRecorder()
+	}
+	if *telemetryOut != "" {
+		rec.EnableTrace(0)
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("gtplay_telemetry", expvar.Func(func() any {
+			return rec.Snapshot().Report()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gtplay: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	var err error
 	switch *game {
 	case "ttt":
-		err = playTTT(*depth, *workers, *selfplay, os.Stdin, os.Stdout)
+		err = playTTT(*depth, *workers, *selfplay, rec, os.Stdin, os.Stdout)
 	case "connect4":
-		err = playConnect4(*depth, *workers, *selfplay, os.Stdin, os.Stdout)
+		err = playConnect4(*depth, *workers, *selfplay, rec, os.Stdin, os.Stdout)
 	case "nim":
-		err = selfplayGame(games.NewNim(3, 5, 7), *workers, os.Stdout)
+		err = selfplayGame(games.NewNim(3, 5, 7), *workers, rec, os.Stdout)
 	case "kayles":
-		err = selfplayGame(games.NewKayles(9), *workers, os.Stdout)
+		err = selfplayGame(games.NewKayles(9), *workers, rec, os.Stdout)
 	case "domineering":
-		err = selfplayGame(gametree.NewDomineering(4, 4), *workers, os.Stdout)
+		err = selfplayGame(gametree.NewDomineering(4, 4), *workers, rec, os.Stdout)
 	default:
 		err = fmt.Errorf("unknown game %q", *game)
+	}
+	if err == nil && *telemetryOut != "" {
+		err = dumpTelemetry(rec, *telemetryOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gtplay:", err)
@@ -52,10 +86,33 @@ func main() {
 	}
 }
 
+// dumpTelemetry prints the session's counter report and writes the
+// recorded split-point spans as a Chrome trace_event file.
+func dumpTelemetry(rec *gametree.TelemetryRecorder, path string) error {
+	report, err := json.MarshalIndent(rec.Snapshot().Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry: %s\n", report)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace %s\n", path)
+	return nil
+}
+
 // selfplayGame runs an engine-vs-engine game to completion on any
 // Position with a String method, printing each move. The search depth is
 // unbounded enough to play these small games perfectly.
-func selfplayGame(start gametree.Position, workers int, outF *os.File) error {
+func selfplayGame(start gametree.Position, workers int, rec *gametree.TelemetryRecorder, outF *os.File) error {
 	out := bufio.NewWriter(outF)
 	defer out.Flush()
 	pos := start
@@ -65,7 +122,8 @@ func selfplayGame(start gametree.Position, workers int, outF *os.File) error {
 			fmt.Fprintf(out, "\nplayer to move has no moves after %d plies - they lose\n", moveNo-1)
 			return nil
 		}
-		r, err := gametree.SearchParallel(context.Background(), pos, 40, workers)
+		r, err := gametree.SearchParallelOpt(context.Background(), pos, 40,
+			gametree.EngineOptions{Workers: workers, Telemetry: rec})
 		if err != nil {
 			return err
 		}
@@ -77,9 +135,10 @@ func selfplayGame(start gametree.Position, workers int, outF *os.File) error {
 	}
 }
 
-func engineMove(pos gametree.Position, depth, workers int, out *bufio.Writer) (int, error) {
+func engineMove(pos gametree.Position, depth, workers int, rec *gametree.TelemetryRecorder, out *bufio.Writer) (int, error) {
 	start := time.Now()
-	r, err := gametree.SearchParallel(context.Background(), pos, depth, workers)
+	r, err := gametree.SearchParallelOpt(context.Background(), pos, depth,
+		gametree.EngineOptions{Workers: workers, Telemetry: rec})
 	if err != nil {
 		return -1, err
 	}
@@ -88,7 +147,7 @@ func engineMove(pos gametree.Position, depth, workers int, out *bufio.Writer) (i
 	return r.Best, nil
 }
 
-func playTTT(depth, workers int, selfplay bool, in *os.File, outF *os.File) error {
+func playTTT(depth, workers int, selfplay bool, rec *gametree.TelemetryRecorder, in *os.File, outF *os.File) error {
 	out := bufio.NewWriter(outF)
 	defer out.Flush()
 	sc := bufio.NewScanner(in)
@@ -129,7 +188,7 @@ func playTTT(depth, workers int, selfplay bool, in *os.File, outF *os.File) erro
 			}
 		} else {
 			var err error
-			idx, err = engineMove(pos, depth, workers, out)
+			idx, err = engineMove(pos, depth, workers, rec, out)
 			if err != nil {
 				return err
 			}
@@ -150,7 +209,7 @@ func announceTTT(pos games.TTT, out *bufio.Writer) error {
 	return nil
 }
 
-func playConnect4(depth, workers int, selfplay bool, in *os.File, outF *os.File) error {
+func playConnect4(depth, workers int, selfplay bool, rec *gametree.TelemetryRecorder, in *os.File, outF *os.File) error {
 	out := bufio.NewWriter(outF)
 	defer out.Flush()
 	sc := bufio.NewScanner(in)
@@ -194,7 +253,7 @@ func playConnect4(depth, workers int, selfplay bool, in *os.File, outF *os.File)
 			}
 		} else {
 			var err error
-			idx, err = engineMove(pos, depth, workers, out)
+			idx, err = engineMove(pos, depth, workers, rec, out)
 			if err != nil {
 				return err
 			}

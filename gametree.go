@@ -42,6 +42,7 @@ import (
 	"gametree/internal/msgpass"
 	"gametree/internal/randomized"
 	"gametree/internal/sched"
+	"gametree/internal/telemetry"
 	"gametree/internal/tree"
 )
 
@@ -473,4 +474,30 @@ func RScout(t *Tree, seed int64) (int32, int64) { return randomized.RScout(t, se
 // for the cascade; same value as Search.
 func SearchRootSplit(ctx context.Context, pos Position, depth, workers int) (SearchResult, error) {
 	return engine.SearchRootSplit(ctx, pos, depth, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Search telemetry (internal/telemetry)
+
+// TelemetryRecorder collects per-worker search counters (tasks, steals,
+// splits, aborts, transposition-table traffic) and, when tracing is
+// enabled, split-point lifetime spans writable as Chrome trace_event
+// JSON. Attach one via EngineOptions.Telemetry; a nil recorder means
+// telemetry off and costs the engine one branch per event.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetrySnapshot is a point-in-time view of a recorder's counters.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryReport is the condensed, JSON-serialisable form of a snapshot:
+// steal efficiency, abort-drain latency, TT hit rate, load skew.
+type TelemetryReport = telemetry.Report
+
+// NewTelemetryRecorder returns an empty recorder with tracing off.
+func NewTelemetryRecorder() *TelemetryRecorder { return telemetry.NewRecorder() }
+
+// SearchParallelOpt is SearchParallel with the full option set: optional
+// transposition table and optional telemetry recorder.
+func SearchParallelOpt(ctx context.Context, pos Position, depth int, opt EngineOptions) (SearchResult, error) {
+	return engine.SearchParallelOpt(ctx, pos, depth, opt)
 }

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gametree/internal/telemetry"
 )
 
 // Position is a game state. Implementations must be immutable values:
@@ -75,7 +77,7 @@ func Search(pos Position, depth int) Result {
 // up to `workers` worker goroutines (0 means GOMAXPROCS) with per-worker
 // work-stealing deques. It returns the same value as Search.
 func SearchParallel(ctx context.Context, pos Position, depth, workers int) (Result, error) {
-	return searchPooled(ctx, pos, depth, workers, nil)
+	return searchPooled(ctx, pos, depth, workers, nil, nil)
 }
 
 // searcher is the sequential search state of one goroutine: the node
@@ -85,10 +87,11 @@ func SearchParallel(ctx context.Context, pos Position, depth, workers int) (Resu
 // chain of the current speculative task.
 type searcher struct {
 	ctx   context.Context
-	sem   chan struct{} // bounds concurrency of the legacy spawn path
-	table *Table        // optional shared transposition table
-	stop  *atomic.Bool  // pooled: set when the search context is cancelled
-	sp    *splitPoint   // pooled: abort chain of the current task
+	sem   chan struct{}    // bounds concurrency of the legacy spawn path
+	table *Table           // optional shared transposition table
+	stop  *atomic.Bool     // pooled: set when the search context is cancelled
+	sp    *splitPoint      // pooled: abort chain of the current task
+	tm    *telemetry.Shard // optional telemetry shard (this worker's, single-writer)
 	nodes int64
 	free  [][]Position // recycled move buffers (MoveAppender positions)
 }
@@ -166,7 +169,13 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 	if e.table != nil {
 		if h, ok := pos.(Hasher); ok {
 			hash, hashed = h.Hash(), true
+			if e.tm != nil {
+				e.tm.TTProbes.Add(1)
+			}
 			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
+				if e.tm != nil {
+					e.tm.TTHits.Add(1)
+				}
 				if tb >= 0 && tb < len(moves) {
 					ttBest = tb
 				}
@@ -228,7 +237,13 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 		case best >= beta:
 			flag = boundLower
 		}
-		e.table.Store(hash, int32(best), depth, flag, bestIdx)
+		evicted := e.table.Store(hash, int32(best), depth, flag, bestIdx)
+		if e.tm != nil {
+			e.tm.TTStores.Add(1)
+			if evicted {
+				e.tm.TTEvictions.Add(1)
+			}
+		}
 	}
 	e.putMoves(moves, scratch)
 	if !wantBest {

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+
+	"gametree/internal/telemetry"
 )
 
 // SearchOptions configures the table-driven searches.
@@ -12,6 +14,12 @@ type SearchOptions struct {
 	// Workers bounds the concurrency of SearchParallelTT; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Telemetry, when non-nil, attaches the search to a telemetry
+	// recorder: per-worker counters (tasks, steals, splits, aborts, TT
+	// traffic, deque depth) and — if the recorder has tracing enabled —
+	// split-point lifetime spans. Nil keeps the hot path uninstrumented
+	// (one nil-check branch per event).
+	Telemetry *telemetry.Recorder
 }
 
 // SearchTT is Search with a transposition table: results of previous
@@ -19,8 +27,11 @@ type SearchOptions struct {
 // cutoffs at sufficient depth.
 func SearchTT(pos Position, depth int, opt SearchOptions) Result {
 	opt.Table.Advance()
-	e := &searcher{ctx: context.Background(), table: opt.Table}
+	e := &searcher{ctx: context.Background(), table: opt.Table, tm: opt.Telemetry.Shard(0)}
 	v, best := e.negamax(pos, depth, -scoreInf, scoreInf, true)
+	if e.tm != nil {
+		e.tm.Nodes.Add(e.nodes)
+	}
 	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
 }
 
@@ -55,7 +66,15 @@ func SearchIterative(ctx context.Context, pos Position, maxDepth int, opt Search
 // transposition table, on the same pooled substrate as SearchParallel.
 func SearchParallelTT(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance()
-	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table)
+	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry)
+}
+
+// SearchParallelOpt is SearchParallel with the full option set: an
+// optional transposition table and an optional telemetry recorder. It is
+// the instrumented entry point used by gtbench and gtplay.
+func SearchParallelOpt(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
+	opt.Table.Advance() // nil-safe
+	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry)
 }
 
 // extractPV walks the transposition table from the root, following stored

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gametree/internal/telemetry"
 )
 
 // seqSplitDepth is the horizon below which subtrees are searched in place:
@@ -56,6 +58,14 @@ type splitPoint struct {
 	alpha   int64 // current sharpened alpha (mirrors the sequential loop)
 	best    int64
 	bestIdx int
+
+	// Telemetry (nil/zero when the search is uninstrumented): the pool's
+	// recorder, the span-open timestamp, and the moment the beta cutoff
+	// was raised (read by the joining owner after pending drains — the
+	// seq-cst pending counter orders that read after the write).
+	rec    *telemetry.Recorder
+	openNs int64
+	cutNs  int64
 
 	tasks []task
 }
@@ -89,6 +99,9 @@ func (sp *splitPoint) complete(idx int, v int64, ok bool) {
 			}
 			if sp.alpha >= sp.beta {
 				sp.abort.Store(true) // pre-empt the remaining siblings
+				if sp.rec != nil {
+					sp.cutNs = sp.rec.Now() // abort-to-drain latency start
+				}
 			}
 		}
 		sp.mu.Unlock()
@@ -110,8 +123,8 @@ func newTaskRing(capacity int64) *taskRing {
 	return &taskRing{mask: capacity - 1, slot: make([]atomic.Pointer[task], capacity)}
 }
 
-func (r *taskRing) get(i int64) *task     { return r.slot[i&r.mask].Load() }
-func (r *taskRing) put(i int64, t *task)  { r.slot[i&r.mask].Store(t) }
+func (r *taskRing) get(i int64) *task    { return r.slot[i&r.mask].Load() }
+func (r *taskRing) put(i int64, t *task) { r.slot[i&r.mask].Store(t) }
 
 // deque is a lock-free work-stealing deque (Chase & Lev 2005): the owner
 // pushes and pops at the bottom (LIFO, preserving the sequential move
@@ -164,17 +177,21 @@ func (d *deque) pop() *task {
 	return t
 }
 
-// steal removes the oldest task. Safe from any goroutine.
-func (d *deque) steal() *task {
+// steal removes the oldest task. Safe from any goroutine. sawWork
+// reports whether the deque was ever observed non-empty — it separates
+// "victim had nothing" from a real steal attempt, so the telemetry's
+// steal-efficiency ratio measures contention, not idle spinning.
+func (d *deque) steal() (t *task, sawWork bool) {
 	for {
 		tp := d.top.Load()
 		b := d.bottom.Load()
 		if tp >= b {
-			return nil
+			return nil, sawWork
 		}
-		t := d.buf.Load().get(tp)
+		sawWork = true
+		t = d.buf.Load().get(tp)
 		if d.top.CompareAndSwap(tp, tp+1) {
-			return t
+			return t, true
 		}
 		// Lost the race; re-read indices and try again.
 	}
@@ -201,23 +218,25 @@ type worker struct {
 // becomes worker 0; workers 1..n-1 run idleLoop until the search ends.
 type pool struct {
 	workers []*worker
-	stop    atomic.Bool // context cancelled
-	done    atomic.Bool // search complete; idle workers exit
+	rec     *telemetry.Recorder // nil when the search is uninstrumented
+	stop    atomic.Bool         // context cancelled
+	done    atomic.Bool         // search complete; idle workers exit
 }
 
 // newPool builds the pool with the caller as worker 0. start launches the
 // helper goroutines and the context watcher; the returned finish must be
 // called exactly once after the root search returns. It tears the pool
 // down and returns the total node count.
-func newPool(ctx context.Context, workers int, table *Table) (*pool, func() int64) {
+func newPool(ctx context.Context, workers int, table *Table, rec *telemetry.Recorder) (*pool, func() int64) {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	p := &pool{workers: make([]*worker, workers)}
+	p := &pool{workers: make([]*worker, workers), rec: rec}
 	for i := range p.workers {
 		w := &worker{pool: p, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
 		w.table = table
 		w.stop = &p.stop
+		w.tm = rec.Shard(i) // nil when rec is nil
 		w.dq.init()
 		p.workers[i] = w
 	}
@@ -248,6 +267,9 @@ func newPool(ctx context.Context, workers int, table *Table) (*pool, func() int6
 		var nodes int64
 		for _, w := range p.workers {
 			nodes += w.nodes
+			if w.tm != nil {
+				w.tm.Nodes.Add(w.nodes) // fold in at the quiesce point
+			}
 		}
 		return nodes
 	}
@@ -294,7 +316,14 @@ func (p *pool) trySteal(w *worker) *task {
 		if v == w {
 			continue
 		}
-		if t := v.dq.steal(); t != nil {
+		t, sawWork := v.dq.steal()
+		if w.tm != nil && sawWork {
+			w.tm.StealAttempts.Add(1)
+		}
+		if t != nil {
+			if w.tm != nil {
+				w.tm.Steals.Add(1)
+			}
 			return t
 		}
 	}
@@ -318,14 +347,23 @@ func (w *worker) nextRand() uint64 {
 func (w *worker) runTask(t *task) {
 	sp := t.sp
 	if w.pool.stop.Load() || sp.aborted() {
+		if w.tm != nil {
+			w.tm.Aborts.Add(1) // skipped before running
+		}
 		sp.complete(t.idx, 0, false)
 		return
+	}
+	if w.tm != nil {
+		w.tm.Tasks.Add(1)
 	}
 	prev := w.sp
 	w.sp = sp
 	v, _ := w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
 	w.sp = prev
 	ok := !w.pool.stop.Load() && !sp.aborted()
+	if !ok && w.tm != nil {
+		w.tm.Aborts.Add(1) // pre-empted mid-search
+	}
 	sp.complete(t.idx, -v, ok)
 }
 
@@ -334,6 +372,10 @@ func (w *worker) runTask(t *task) {
 // only then yield. Every pending task is either in a deque (some worker
 // will run it) or already running, so the loop terminates.
 func (w *worker) join(sp *splitPoint) {
+	var joinNs int64
+	if sp.rec.TraceEnabled() {
+		joinNs = sp.rec.Now()
+	}
 	for sp.pending.Load() > 0 {
 		if t := w.dq.pop(); t != nil {
 			w.runTask(t)
@@ -344,6 +386,22 @@ func (w *worker) join(sp *splitPoint) {
 			continue
 		}
 		runtime.Gosched()
+	}
+	if sp.rec == nil {
+		return
+	}
+	// Drained. Record the cutoff-to-drain latency (if a beta cutoff was
+	// raised here) and the split's lifetime span.
+	if w.tm != nil && sp.cutNs != 0 {
+		w.tm.AbortDrains.Add(1)
+		w.tm.AbortDrainNs.Add(sp.rec.Now() - sp.cutNs)
+	}
+	if joinNs != 0 {
+		sp.rec.RecordSpan(telemetry.Span{
+			Worker: w.id, Name: "split",
+			Start: sp.openNs, Join: joinNs, End: sp.rec.Now(),
+			Tasks: len(sp.tasks), Aborted: sp.abort.Load(),
+		})
 	}
 }
 
@@ -366,6 +424,11 @@ func (w *worker) newSplit(up *splitPoint, alpha, beta, best int64, bestIdx int, 
 	sp.bestIdx = bestIdx
 	sp.abort.Store(false)
 	sp.shared.Store(alpha)
+	sp.rec = w.pool.rec
+	sp.cutNs = 0
+	if sp.rec.TraceEnabled() {
+		sp.openNs = sp.rec.Now()
+	}
 	n := len(moves) - from
 	if cap(sp.tasks) < n {
 		sp.tasks = make([]task, n)
@@ -377,6 +440,10 @@ func (w *worker) newSplit(up *splitPoint, alpha, beta, best int64, bestIdx int, 
 		sp.tasks[i-from] = task{sp: sp, pos: moves[i], idx: i, depth: depth}
 		w.dq.push(&sp.tasks[i-from])
 	}
+	if w.tm != nil {
+		w.tm.Splits.Add(1)
+		w.tm.ObserveDeque(w.dq.bottom.Load() - w.dq.top.Load())
+	}
 	return sp
 }
 
@@ -387,6 +454,8 @@ func (w *worker) releaseSplit(sp *splitPoint) {
 	clear(sp.tasks) // drop Position references for the GC
 	sp.tasks = sp.tasks[:0]
 	sp.up = nil
+	sp.rec = nil
+	sp.openNs, sp.cutNs = 0, 0
 	if len(w.spFree) < 8 {
 		w.spFree = append(w.spFree, sp)
 	}
@@ -443,8 +512,8 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 // searchPooled runs the cascade on a fresh pool, with the calling
 // goroutine as worker 0 (zero handoff cost: with one worker the search is
 // plainly sequential).
-func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table) (Result, error) {
-	p, finish := newPool(ctx, workers, table)
+func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table, rec *telemetry.Recorder) (Result, error) {
+	p, finish := newPool(ctx, workers, table, rec)
 	v, best := p.workers[0].search(pos, depth, -scoreInf, scoreInf, nil, true)
 	nodes := finish()
 	if ctx.Err() != nil {
@@ -462,7 +531,7 @@ func searchRootSplitPooled(ctx context.Context, pos Position, depth, workers int
 	if depth == 0 || len(moves) == 0 {
 		return Result{Value: pos.Evaluate(), Best: -1, Nodes: 1}, nil
 	}
-	p, finish := newPool(ctx, workers, nil)
+	p, finish := newPool(ctx, workers, nil, nil)
 	w0 := p.workers[0]
 	w0.nodes++ // the root itself
 	sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)

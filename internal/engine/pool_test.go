@@ -42,7 +42,8 @@ func TestDequeOwnerThieves(t *testing.T) {
 					return
 				default:
 				}
-				grab(d.steal())
+				tk, _ := d.steal()
+				grab(tk)
 			}
 		}()
 	}

@@ -104,14 +104,19 @@ func unpackEntry(d uint64) (value int32, depth int, flag uint64, best int) {
 func entryGen(d uint64) int { return int(d >> 16 & ttGenMask) }
 
 // Store records a search result for the position with the given hash.
-func (t *Table) Store(hash uint64, value int32, depth int, flag uint64, best int) {
+// The return value reports whether the write displaced a live entry of a
+// different position (an eviction) — refreshes of the same position and
+// writes into empty slots return false. It feeds the telemetry layer's
+// eviction counter; callers are free to ignore it.
+func (t *Table) Store(hash uint64, value int32, depth int, flag uint64, best int) bool {
 	if t == nil {
-		return
+		return false
 	}
 	gen := int(t.gen.Load())
 	d := packEntry(value, depth, flag, best, gen)
 	base := (hash & t.mask) * (2 * bucketWays)
 	slot := base
+	evicted := false
 	empty, victim := uint64(0), uint64(0)
 	haveEmpty, haveVictim := false, false
 	minScore := 0
@@ -141,10 +146,12 @@ func (t *Table) Store(hash uint64, value int32, depth int, flag uint64, best int
 		slot = empty
 	case haveVictim:
 		slot = victim
+		evicted = true
 	}
 write:
 	t.words[slot].Store(hash ^ d)
 	t.words[slot+1].Store(d)
+	return evicted
 }
 
 // Probe looks the position up across its bucket. ok is false on a miss

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gametree/internal/telemetry"
 	"gametree/internal/tree"
 )
 
@@ -157,9 +158,16 @@ type abProcessor struct {
 	r      *abRun
 	id     int
 	mb     *abMailbox
+	sh     *telemetry.Shard // this processor's message counters
 	levels map[int]*abLevelState
 	owned  []int
 	next   int
+}
+
+// send counts the message against this processor's shard and routes it.
+func (p *abProcessor) send(level int, m abMessage) {
+	p.sh.MsgsSent.Add(1)
+	p.r.send(level, m)
 }
 
 // EvaluateAlphaBeta runs the message-passing width-1 Parallel alpha-beta
@@ -185,14 +193,26 @@ func EvaluateAlphaBeta(t *tree.Tree, opt Options) (Metrics, error) {
 		workSpin:   opt.WorkPerExpansion,
 		reported:   make([]atomic.Bool, t.Len()),
 	}
+	rec := opt.Telemetry
+	if rec == nil {
+		rec = telemetry.NewRecorder()
+	}
 	r.procs = make([]*abProcessor, np)
 	var wg sync.WaitGroup
 	for i := 0; i < np; i++ {
-		p := &abProcessor{r: r, id: i, mb: newABMailbox(), levels: map[int]*abLevelState{}}
+		p := &abProcessor{r: r, id: i, mb: newABMailbox(), sh: rec.Shard(i), levels: map[int]*abLevelState{}}
 		for lvl := i; lvl <= t.Height; lvl += np {
 			p.owned = append(p.owned, lvl)
 		}
 		r.procs[i] = p
+	}
+	base := make([]ProcStats, np)
+	for i, p := range r.procs {
+		base[i] = ProcStats{
+			Sent:         p.sh.MsgsSent.Load(),
+			Received:     p.sh.MsgsRecv.Load(),
+			StaleDropped: p.sh.MsgsStale.Load(),
+		}
 	}
 	for i := 0; i < np; i++ {
 		wg.Add(1)
@@ -207,12 +227,21 @@ func EvaluateAlphaBeta(t *tree.Tree, opt Options) (Metrics, error) {
 		p.mb.halt()
 	}
 	wg.Wait()
-	return Metrics{
+	m := Metrics{
 		Value:      int32(val),
 		Expansions: r.expansions.Load(),
 		Messages:   r.messages.Load(),
 		Processors: np,
-	}, nil
+	}
+	m.PerProcessor = make([]ProcStats, np)
+	for i, p := range r.procs {
+		m.PerProcessor[i] = ProcStats{
+			Sent:         p.sh.MsgsSent.Load() - base[i].Sent,
+			Received:     p.sh.MsgsRecv.Load() - base[i].Received,
+			StaleDropped: p.sh.MsgsStale.Load() - base[i].StaleDropped,
+		}
+	}
+	return m, nil
 }
 
 // abDebugHook, when set, observes every message at send time (test-only).
@@ -250,6 +279,7 @@ func (p *abProcessor) loop() {
 			return
 		}
 		for _, m := range msgs {
+			p.sh.MsgsRecv.Add(1)
 			p.handle(m)
 		}
 		p.stepWork()
@@ -277,6 +307,7 @@ func (p *abProcessor) state(level int) *abLevelState {
 func (p *abProcessor) handle(m abMessage) {
 	t := p.r.t
 	if m.typ != abVal && p.r.stale(m.v) {
+		p.sh.MsgsStale.Add(1)
 		return // superseded invocation: an ancestor's value is already out
 	}
 	switch m.typ {
@@ -311,14 +342,14 @@ func (p *abProcessor) startP(m abMessage) {
 	nd := t.Node(v)
 	if nd.NumChildren == 0 {
 		p.r.markReported(v)
-		p.r.send(level-1, abMessage{typ: abVal, v: v, val: int64(nd.Value)})
+		p.send(level-1, abMessage{typ: abVal, v: v, val: int64(nd.Value)})
 		ls.p = nil
 		return
 	}
 	w, x := nd.FirstChild, nd.FirstChild+1
 	ls.p = &abPState{v: v, w: w, x: x, alpha: m.alpha, beta: m.beta}
-	p.r.send(level+1, abMessage{typ: abPSolve, v: w, alpha: m.alpha, beta: m.beta})
-	p.r.send(level+1, abMessage{typ: abSSolve, v: x, alpha: m.alpha, beta: m.beta})
+	p.send(level+1, abMessage{typ: abPSolve, v: w, alpha: m.alpha, beta: m.beta})
+	p.send(level+1, abMessage{typ: abSSolve, v: x, alpha: m.alpha, beta: m.beta})
 }
 
 func (p *abProcessor) startPVariant(m abMessage, haveLeft bool) {
@@ -326,7 +357,7 @@ func (p *abProcessor) startPVariant(m abMessage, haveLeft bool) {
 	nd := t.Node(m.v)
 	if nd.NumChildren == 0 {
 		p.r.markReported(m.v)
-		p.r.send(t.Depth(m.v)-1, abMessage{typ: abVal, v: m.v, val: int64(nd.Value)})
+		p.send(t.Depth(m.v)-1, abMessage{typ: abVal, v: m.v, val: int64(nd.Value)})
 		return
 	}
 	ls := p.state(t.Depth(m.v))
@@ -350,12 +381,12 @@ func (p *abProcessor) handoff(s *abSState) {
 		level := t.Depth(u)
 		switch f.stage {
 		case 1:
-			p.r.send(level, abMessage{typ: abPSolve2, v: u, alpha: f.alpha, beta: f.beta})
-			p.r.send(level+1, abMessage{typ: abSSolve, v: t.Node(u).FirstChild + 1, alpha: f.alpha, beta: f.beta})
+			p.send(level, abMessage{typ: abPSolve2, v: u, alpha: f.alpha, beta: f.beta})
+			p.send(level+1, abMessage{typ: abSSolve, v: t.Node(u).FirstChild + 1, alpha: f.alpha, beta: f.beta})
 		case 2:
-			p.r.send(level, abMessage{typ: abPSolve3, v: u, alpha: f.alpha, beta: f.beta, val: f.lval})
+			p.send(level, abMessage{typ: abPSolve3, v: u, alpha: f.alpha, beta: f.beta, val: f.lval})
 		default:
-			p.r.send(level, abMessage{typ: abPSolve, v: u, alpha: f.alpha, beta: f.beta})
+			p.send(level, abMessage{typ: abPSolve, v: u, alpha: f.alpha, beta: f.beta})
 		}
 	}
 }
@@ -382,6 +413,7 @@ func (p *abProcessor) handleVal(v tree.NodeID, x int64) {
 	parentLevel := t.Depth(v) - 1
 	ls := p.levels[parentLevel]
 	if ls == nil || ls.p == nil {
+		p.sh.MsgsStale.Add(1)
 		return
 	}
 	st := ls.p
@@ -389,6 +421,7 @@ func (p *abProcessor) handleVal(v tree.NodeID, x int64) {
 	switch v {
 	case st.w:
 		if st.lok {
+			p.sh.MsgsStale.Add(1)
 			return
 		}
 		st.lval, st.lok = x, true
@@ -409,9 +442,10 @@ func (p *abProcessor) handleVal(v tree.NodeID, x int64) {
 		} else if x < beta {
 			beta = x
 		}
-		p.r.send(parentLevel+1, abMessage{typ: abPSolve, v: st.x, alpha: alpha, beta: beta})
+		p.send(parentLevel+1, abMessage{typ: abPSolve, v: st.x, alpha: alpha, beta: beta})
 	case st.x:
 		if st.rok {
+			p.sh.MsgsStale.Add(1)
 			return
 		}
 		st.rval, st.rok = x, true
@@ -422,12 +456,14 @@ func (p *abProcessor) handleVal(v tree.NodeID, x int64) {
 		if st.lok {
 			p.finish(parentLevel, st, combine(isMax, st.lval, st.rval))
 		}
+	default:
+		p.sh.MsgsStale.Add(1) // value for a child this invocation is not waiting on
 	}
 }
 
 func (p *abProcessor) finish(level int, st *abPState, val int64) {
 	p.r.markReported(st.v)
-	p.r.send(level-1, abMessage{typ: abVal, v: st.v, val: val})
+	p.send(level-1, abMessage{typ: abVal, v: st.v, val: val})
 	if ls := p.levels[level]; ls != nil && ls.p == st {
 		ls.p = nil
 	}
@@ -492,6 +528,6 @@ func (p *abProcessor) propagateS(ls *abLevelState, val int64) {
 		s.stack = s.stack[:len(s.stack)-1]
 	}
 	p.r.markReported(s.root)
-	p.r.send(t.Depth(s.root)-1, abMessage{typ: abVal, v: s.root, val: val})
+	p.send(t.Depth(s.root)-1, abMessage{typ: abVal, v: s.root, val: val})
 	ls.s = nil
 }

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gametree/internal/telemetry"
 	"gametree/internal/tree"
 )
 
@@ -42,6 +43,20 @@ type Options struct {
 	// loop) to every node expansion, modeling expensive leaf evaluation
 	// so that wall-clock speedup is observable.
 	WorkPerExpansion int
+	// Telemetry, when non-nil, receives the per-processor message
+	// counters (shard i = processor i). When nil a run-local recorder is
+	// used; either way Metrics.PerProcessor reports the counts.
+	Telemetry *telemetry.Recorder
+}
+
+// ProcStats is one processor's message telemetry: invocations and values
+// it sent, messages it drained from its mailbox, and messages it dropped
+// as stale (superseded invocations and values no live invocation waits
+// on).
+type ProcStats struct {
+	Sent         int64
+	Received     int64
+	StaleDropped int64
 }
 
 // Metrics reports the outcome of a run.
@@ -53,6 +68,10 @@ type Metrics struct {
 	// ByType counts messages per kind, indexed S-SOLVE*, P-SOLVE*,
 	// P-SOLVE**, P-SOLVE***, val.
 	ByType [5]int64
+	// PerProcessor is the per-processor message telemetry (index =
+	// processor id). The coordinator's kickoff message is counted in
+	// Messages but attributed to no processor.
+	PerProcessor []ProcStats
 }
 
 type msgType uint8
@@ -189,9 +208,16 @@ type processor struct {
 	r      *run
 	id     int
 	mb     *mailbox
+	sh     *telemetry.Shard // this processor's message counters
 	levels map[int]*levelState
 	owned  []int // levels this processor owns, ascending (for fair multiplexing)
 	next   int   // round-robin cursor into owned
+}
+
+// send counts the message against this processor's shard and routes it.
+func (p *processor) send(level int, m message) {
+	p.sh.MsgsSent.Add(1)
+	p.r.send(level, m)
 }
 
 // Evaluate runs the Section 7 implementation on a binary NOR tree and
@@ -213,6 +239,10 @@ func Evaluate(t *tree.Tree, opt Options) (Metrics, error) {
 	if np > t.Height+1 {
 		np = t.Height + 1 // extra processors would own no level
 	}
+	rec := opt.Telemetry
+	if rec == nil {
+		rec = telemetry.NewRecorder()
+	}
 	r := &run{
 		t:          t,
 		nprocs:     np,
@@ -223,11 +253,19 @@ func Evaluate(t *tree.Tree, opt Options) (Metrics, error) {
 	r.procs = make([]*processor, np)
 	var wg sync.WaitGroup
 	for i := 0; i < np; i++ {
-		p := &processor{r: r, id: i, mb: newMailbox(), levels: map[int]*levelState{}}
+		p := &processor{r: r, id: i, mb: newMailbox(), sh: rec.Shard(i), levels: map[int]*levelState{}}
 		for lvl := i; lvl <= t.Height; lvl += np {
 			p.owned = append(p.owned, lvl)
 		}
 		r.procs[i] = p
+	}
+	base := make([]ProcStats, np)
+	for i, p := range r.procs {
+		base[i] = ProcStats{
+			Sent:         p.sh.MsgsSent.Load(),
+			Received:     p.sh.MsgsRecv.Load(),
+			StaleDropped: p.sh.MsgsStale.Load(),
+		}
 	}
 	for i := 0; i < np; i++ {
 		wg.Add(1)
@@ -251,6 +289,16 @@ func Evaluate(t *tree.Tree, opt Options) (Metrics, error) {
 	}
 	for i := range m.ByType {
 		m.ByType[i] = r.byType[i].Load()
+	}
+	m.PerProcessor = make([]ProcStats, np)
+	for i, p := range r.procs {
+		// Subtract the pre-run baseline so a recorder reused across runs
+		// still yields this run's counts in Metrics.
+		m.PerProcessor[i] = ProcStats{
+			Sent:         p.sh.MsgsSent.Load() - base[i].Sent,
+			Received:     p.sh.MsgsRecv.Load() - base[i].Received,
+			StaleDropped: p.sh.MsgsStale.Load() - base[i].StaleDropped,
+		}
 	}
 	return m, nil
 }
@@ -331,6 +379,7 @@ func (p *processor) loop() {
 			return
 		}
 		for _, m := range msgs {
+			p.sh.MsgsRecv.Add(1)
 			if debugHandle != nil {
 				debugHandle("h", p.id, m)
 			}
@@ -361,6 +410,7 @@ func (p *processor) state(level int) *levelState {
 func (p *processor) handle(m message) {
 	t := p.r.t
 	if m.typ != msgVal && p.r.stale(m.v) {
+		p.sh.MsgsStale.Add(1)
 		return // superseded invocation: an ancestor's value is already out
 	}
 	switch m.typ {
@@ -402,14 +452,14 @@ func (p *processor) startPSolve(v tree.NodeID) {
 	nd := t.Node(v)
 	if nd.NumChildren == 0 {
 		p.r.markReported(v)
-		p.r.send(level-1, message{typ: msgVal, v: v, val: int8(nd.Value)})
+		p.send(level-1, message{typ: msgVal, v: v, val: int8(nd.Value)})
 		ls.p = nil
 		return
 	}
 	w, x := nd.FirstChild, nd.FirstChild+1
 	ls.p = &pState{v: v, w: w, x: x, lval: -1, rval: -1}
-	p.r.send(level+1, message{typ: msgPSolve, v: w})
-	p.r.send(level+1, message{typ: msgSSolve, v: x})
+	p.send(level+1, message{typ: msgPSolve, v: w})
+	p.send(level+1, message{typ: msgSSolve, v: x})
 }
 
 // startPVariant implements "P-SOLVE**(v)" (lval = -1: left child pending)
@@ -423,7 +473,7 @@ func (p *processor) startPVariant(v tree.NodeID, lval int8) {
 		// Cannot happen: the handoff sends P-variants only for internal
 		// path nodes.
 		p.r.markReported(v)
-		p.r.send(t.Depth(v)-1, message{typ: msgVal, v: v, val: int8(nd.Value)})
+		p.send(t.Depth(v)-1, message{typ: msgVal, v: v, val: int8(nd.Value)})
 		return
 	}
 	ls := p.state(t.Depth(v))
@@ -444,12 +494,12 @@ func (p *processor) handoff(s *sState) {
 		level := t.Depth(u)
 		switch f.stage {
 		case 1: // path continues into the left child
-			p.r.send(level, message{typ: msgPSolve2, v: u})
-			p.r.send(level+1, message{typ: msgSSolve, v: t.Node(u).FirstChild + 1})
+			p.send(level, message{typ: msgPSolve2, v: u})
+			p.send(level+1, message{typ: msgSSolve, v: t.Node(u).FirstChild + 1})
 		case 2: // left child resolved to 0; path continues right
-			p.r.send(level, message{typ: msgPSolve3, v: u})
+			p.send(level, message{typ: msgPSolve3, v: u})
 		default: // stage 0: the terminal node of the path
-			p.r.send(level, message{typ: msgPSolve, v: u})
+			p.send(level, message{typ: msgPSolve, v: u})
 		}
 	}
 }
@@ -462,6 +512,7 @@ func (p *processor) handleVal(v tree.NodeID, b int8) {
 	parentLevel := t.Depth(v) - 1
 	ls := p.levels[parentLevel]
 	if ls == nil || ls.p == nil {
+		p.sh.MsgsStale.Add(1)
 		if debugHandle != nil {
 			debugHandle("drop-noP", p.id, message{typ: msgVal, v: v, val: b})
 		}
@@ -471,6 +522,7 @@ func (p *processor) handleVal(v tree.NodeID, b int8) {
 	switch v {
 	case st.w:
 		if st.lval >= 0 {
+			p.sh.MsgsStale.Add(1)
 			return // duplicate/stale
 		}
 		st.lval = b
@@ -481,12 +533,13 @@ func (p *processor) handleVal(v tree.NodeID, b int8) {
 		// Left child is 0: promote the right child's sequential search
 		// to a parallel one.
 		if st.rval < 0 {
-			p.r.send(parentLevel+1, message{typ: msgPSolve, v: st.x})
+			p.send(parentLevel+1, message{typ: msgPSolve, v: st.x})
 		} else {
 			p.finishP(parentLevel, st, 1-st.rval)
 		}
 	case st.x:
 		if st.rval >= 0 {
+			p.sh.MsgsStale.Add(1)
 			return
 		}
 		st.rval = b
@@ -498,12 +551,14 @@ func (p *processor) handleVal(v tree.NodeID, b int8) {
 			p.finishP(parentLevel, st, 1)
 		}
 		// Otherwise keep waiting for the left child.
+	default:
+		p.sh.MsgsStale.Add(1) // value for a child this invocation is not waiting on
 	}
 }
 
 func (p *processor) finishP(level int, st *pState, val int8) {
 	p.r.markReported(st.v)
-	p.r.send(level-1, message{typ: msgVal, v: st.v, val: val})
+	p.send(level-1, message{typ: msgVal, v: st.v, val: val})
 	if ls := p.levels[level]; ls != nil && ls.p == st {
 		ls.p = nil
 	}
@@ -564,6 +619,6 @@ func (p *processor) propagateS(ls *levelState, val int8) {
 	}
 	// The whole invocation finished.
 	p.r.markReported(s.root)
-	p.r.send(t.Depth(s.root)-1, message{typ: msgVal, v: s.root, val: val})
+	p.send(t.Depth(s.root)-1, message{typ: msgVal, v: s.root, val: val})
 	ls.s = nil
 }

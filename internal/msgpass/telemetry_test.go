@@ -1,0 +1,131 @@
+package msgpass
+
+import (
+	"math/rand"
+	"testing"
+
+	"gametree/internal/telemetry"
+	"gametree/internal/tree"
+)
+
+// TestPerProcessorCountsConsistent pins the message accounting identity
+// on both machines: every delivered message except the coordinator's
+// kickoff was sent by some processor, so sum(PerProcessor.Sent) must be
+// Metrics.Messages - 1. Receipts are bounded by deliveries (the root val
+// goes to the coordinator, not a processor, and mailboxes may hold
+// undrained messages when the run halts), and stale drops never exceed
+// receipts.
+func TestPerProcessorCountsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+
+		nor := tree.IIDNor(2, n, 0.618, rng.Int63())
+		m, err := Evaluate(nor, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkProcStats(t, "solve", m)
+
+		mm := tree.IIDMinMax(2, n, 0, 9, rng.Int63())
+		ab, err := EvaluateAlphaBeta(mm, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkProcStats(t, "alphabeta", ab)
+	}
+}
+
+func checkProcStats(t *testing.T, machine string, m Metrics) {
+	t.Helper()
+	if len(m.PerProcessor) != m.Processors {
+		t.Fatalf("%s: %d PerProcessor entries for %d processors",
+			machine, len(m.PerProcessor), m.Processors)
+	}
+	var sent, recv, stale int64
+	for i, ps := range m.PerProcessor {
+		if ps.Sent < 0 || ps.Received < 0 || ps.StaleDropped < 0 {
+			t.Fatalf("%s: negative counters at processor %d: %+v", machine, i, ps)
+		}
+		if ps.StaleDropped > ps.Received {
+			t.Fatalf("%s: processor %d dropped %d of %d received",
+				machine, i, ps.StaleDropped, ps.Received)
+		}
+		sent += ps.Sent
+		recv += ps.Received
+		stale += ps.StaleDropped
+	}
+	if sent != m.Messages-1 {
+		t.Fatalf("%s: processors sent %d messages, delivered %d (expect sent = delivered - kickoff)",
+			machine, sent, m.Messages)
+	}
+	if recv == 0 || recv > m.Messages {
+		t.Fatalf("%s: processors received %d of %d delivered messages", machine, recv, m.Messages)
+	}
+	_ = stale // non-negativity and the per-processor bound are the invariants
+}
+
+// TestExternalRecorderReuse: a caller-supplied recorder accumulates
+// across runs, while Metrics.PerProcessor must still report each run's
+// own counts (the baseline subtraction).
+func TestExternalRecorderReuse(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	tr := tree.WorstCaseNOR(2, 5, 1)
+
+	m1, err := Evaluate(tr, Options{Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProcStats(t, "run1", m1)
+	afterFirst := rec.Snapshot().Total
+
+	m2, err := Evaluate(tr, Options{Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProcStats(t, "run2", m2)
+
+	// The recorder accumulates across runs while each run's PerProcessor
+	// reflects only that run (the baseline subtraction): run1's
+	// per-processor sums equal the recorder after run1, and the final
+	// recorder holds exactly the sum of both runs.
+	sum := func(m Metrics) (s int64) {
+		for _, ps := range m.PerProcessor {
+			s += ps.Sent
+		}
+		return
+	}
+	if sum(m1) != afterFirst.MsgsSent {
+		t.Fatalf("run1 per-processor sent %d != recorder %d", sum(m1), afterFirst.MsgsSent)
+	}
+	total := rec.Snapshot().Total
+	if total.MsgsSent != sum(m1)+sum(m2) {
+		t.Fatalf("recorder did not accumulate: %d != %d + %d",
+			total.MsgsSent, sum(m1), sum(m2))
+	}
+}
+
+// TestStaleDropsCounted: the pre-emption rule must actually fire on
+// configurations that provoke it — the zoned, work-laden worst-case runs
+// of the staleness regression test — and the drops must be visible in
+// telemetry.
+func TestStaleDropsCounted(t *testing.T) {
+	var sawStale bool
+	for trial := 0; trial < 10 && !sawStale; trial++ {
+		for _, procs := range []int{2, 3} {
+			tr := tree.WorstCaseNOR(2, 10, 1)
+			m, err := Evaluate(tr, Options{Processors: procs, WorkPerExpansion: 500})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ps := range m.PerProcessor {
+				if ps.StaleDropped > 0 {
+					sawStale = true
+				}
+			}
+		}
+	}
+	if !sawStale {
+		t.Fatal("no run recorded a stale drop; pre-emption telemetry looks dead")
+	}
+}

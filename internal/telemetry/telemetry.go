@@ -1,0 +1,324 @@
+// Package telemetry is the low-overhead metrics and span-tracing layer of
+// the search subsystems. It exists because end-state numbers (nodes/sec,
+// total messages) cannot falsify claims about *how* a parallel search ran:
+// steal rates, per-worker load skew, abort-to-drain latency and
+// transposition-table behaviour are invisible in them.
+//
+// The design keeps the fast path to one cache-local atomic increment:
+//
+//   - Counters are sharded per worker (or per message-passing processor)
+//     into a Shard, a cache-line-padded block of atomic.Int64 fields.
+//     Every Shard has exactly one writer — the worker that owns it — so
+//     increments never contend; atomics are used (rather than plain
+//     int64s) only so that Snapshot may run concurrently with a live
+//     search and stay clean under the race detector.
+//   - Snapshot sums the shards. It is intended for quiesce points (after
+//     a pool joins) but is safe at any time; a mid-run snapshot is simply
+//     a momentary view.
+//   - A Recorder bundles the shards with an optional span recorder for
+//     split-point lifetimes (open → join → drain), which WriteTrace can
+//     emit as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// A nil *Recorder is a valid "telemetry off" value: every method is
+// nil-receiver-safe, and the engine guards its increments with a single
+// nil check, so the disabled cost is one predictable branch per event.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shard is one worker's counter block. All fields are single-writer
+// (owner-only); readers use Snapshot. The block is padded to whole cache
+// lines so neighbouring shards never false-share.
+//
+// Counter semantics (see also README "Telemetry"):
+//
+//	Tasks          speculative sibling tasks actually executed
+//	StealAttempts  steal attempts on a non-empty victim deque
+//	Steals         steal attempts that won the task
+//	Splits         split points opened by this worker
+//	Aborts         tasks that observed an abort (skipped before running,
+//	               or whose in-flight search was pre-empted)
+//	AbortDrains    joins that drained after a beta cutoff was raised
+//	AbortDrainNs   cumulative cutoff-to-drain latency over those joins
+//	TTProbes/TTHits/TTStores/TTEvictions
+//	               transposition-table traffic issued by this worker;
+//	               an eviction is a store that displaced a live entry of
+//	               a different position
+//	DequeMax       high-water mark of this worker's deque depth
+//	Nodes          positions visited (folded in when the pool quiesces)
+//	MsgsSent/MsgsRecv/MsgsStale
+//	               message-passing processors: messages sent, received,
+//	               and invocations/values dropped as stale
+type Shard struct {
+	Tasks         atomic.Int64
+	StealAttempts atomic.Int64
+	Steals        atomic.Int64
+	Splits        atomic.Int64
+	Aborts        atomic.Int64
+	AbortDrains   atomic.Int64
+	AbortDrainNs  atomic.Int64
+	TTProbes      atomic.Int64
+	TTHits        atomic.Int64
+	TTStores      atomic.Int64
+	TTEvictions   atomic.Int64
+	DequeMax      atomic.Int64
+	Nodes         atomic.Int64
+	MsgsSent      atomic.Int64
+	MsgsRecv      atomic.Int64
+	MsgsStale     atomic.Int64
+}
+
+// ObserveDeque raises the deque high-water mark. Owner-only, like every
+// Shard write: the load-then-store is safe because no one else writes.
+func (s *Shard) ObserveDeque(depth int64) {
+	if depth > s.DequeMax.Load() {
+		s.DequeMax.Store(depth)
+	}
+}
+
+// Counts is a plain (non-atomic) image of one Shard, and the element of a
+// Snapshot.
+type Counts struct {
+	Tasks         int64
+	StealAttempts int64
+	Steals        int64
+	Splits        int64
+	Aborts        int64
+	AbortDrains   int64
+	AbortDrainNs  int64
+	TTProbes      int64
+	TTHits        int64
+	TTStores      int64
+	TTEvictions   int64
+	DequeMax      int64
+	Nodes         int64
+	MsgsSent      int64
+	MsgsRecv      int64
+	MsgsStale     int64
+}
+
+// load copies a shard's counters.
+func (s *Shard) load() Counts {
+	return Counts{
+		Tasks:         s.Tasks.Load(),
+		StealAttempts: s.StealAttempts.Load(),
+		Steals:        s.Steals.Load(),
+		Splits:        s.Splits.Load(),
+		Aborts:        s.Aborts.Load(),
+		AbortDrains:   s.AbortDrains.Load(),
+		AbortDrainNs:  s.AbortDrainNs.Load(),
+		TTProbes:      s.TTProbes.Load(),
+		TTHits:        s.TTHits.Load(),
+		TTStores:      s.TTStores.Load(),
+		TTEvictions:   s.TTEvictions.Load(),
+		DequeMax:      s.DequeMax.Load(),
+		Nodes:         s.Nodes.Load(),
+		MsgsSent:      s.MsgsSent.Load(),
+		MsgsRecv:      s.MsgsRecv.Load(),
+		MsgsStale:     s.MsgsStale.Load(),
+	}
+}
+
+// add folds o into c (DequeMax takes the max, everything else sums).
+func (c *Counts) add(o Counts) {
+	c.Tasks += o.Tasks
+	c.StealAttempts += o.StealAttempts
+	c.Steals += o.Steals
+	c.Splits += o.Splits
+	c.Aborts += o.Aborts
+	c.AbortDrains += o.AbortDrains
+	c.AbortDrainNs += o.AbortDrainNs
+	c.TTProbes += o.TTProbes
+	c.TTHits += o.TTHits
+	c.TTStores += o.TTStores
+	c.TTEvictions += o.TTEvictions
+	if o.DequeMax > c.DequeMax {
+		c.DequeMax = o.DequeMax
+	}
+	c.Nodes += o.Nodes
+	c.MsgsSent += o.MsgsSent
+	c.MsgsRecv += o.MsgsRecv
+	c.MsgsStale += o.MsgsStale
+}
+
+// Snapshot is a point-in-time view of a Recorder: the per-shard counters
+// and their sum.
+type Snapshot struct {
+	PerWorker []Counts
+	Total     Counts
+}
+
+// defaultMaxSpans bounds the span buffer so tracing a long search cannot
+// grow memory without limit; spans past the cap are counted, not stored.
+const defaultMaxSpans = 1 << 16
+
+// Recorder bundles the counter shards of one instrumented subsystem with
+// the optional span recorder. The zero value is not usable; construct
+// with NewRecorder. A nil *Recorder means "telemetry off" and every
+// method on it is a no-op.
+type Recorder struct {
+	epoch   time.Time
+	tracing atomic.Bool
+
+	mu       sync.Mutex
+	shards   []*Shard
+	spans    []Span
+	maxSpans int
+	dropped  int64
+}
+
+// NewRecorder returns an empty recorder with tracing off.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), maxSpans: defaultMaxSpans}
+}
+
+// EnableTrace turns the span recorder on. maxSpans bounds the buffer
+// (<= 0 keeps the default); spans beyond the bound increment Dropped.
+func (r *Recorder) EnableTrace(maxSpans int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if maxSpans > 0 {
+		r.maxSpans = maxSpans
+	}
+	r.mu.Unlock()
+	r.tracing.Store(true)
+}
+
+// TraceEnabled reports whether spans are being recorded. Nil-safe.
+func (r *Recorder) TraceEnabled() bool { return r != nil && r.tracing.Load() }
+
+// Now returns nanoseconds since the recorder's epoch (monotonic). It is
+// the timebase of spans and latency counters. Nil-safe: 0 when off.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Shard returns the i'th counter shard, growing the shard set as needed.
+// Growth happens only at quiesce points (pool construction), never on the
+// search fast path. Nil-safe: returns nil when the recorder is off.
+func (r *Recorder) Shard(i int) *Shard {
+	if r == nil || i < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.shards) <= i {
+		r.shards = append(r.shards, new(Shard))
+	}
+	return r.shards[i]
+}
+
+// Snapshot sums the shards. Safe at any time (shards are single-writer,
+// reads are atomic); exact once the instrumented search has quiesced.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	shards := r.shards
+	r.mu.Unlock()
+	snap := Snapshot{PerWorker: make([]Counts, len(shards))}
+	for i, s := range shards {
+		snap.PerWorker[i] = s.load()
+		snap.Total.add(snap.PerWorker[i])
+	}
+	return snap
+}
+
+// Reset zeroes every counter and drops recorded spans; the epoch and the
+// tracing flag are kept. Call only at quiesce points.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.shards {
+		*s = Shard{}
+	}
+	r.spans = nil
+	r.dropped = 0
+}
+
+// Report condenses a snapshot into the derived metrics the benchmarks and
+// CI publish: steal efficiency, abort-drain latency, TT hit rate, and
+// per-worker load skew.
+type Report struct {
+	Workers          int     `json:"workers"`
+	Nodes            int64   `json:"nodes"`
+	Tasks            int64   `json:"tasks"`
+	Splits           int64   `json:"splits"`
+	StealAttempts    int64   `json:"steal_attempts"`
+	Steals           int64   `json:"steals"`
+	StealEfficiency  float64 `json:"steal_efficiency"` // Steals/StealAttempts; 0 when no attempts
+	Aborts           int64   `json:"aborts"`
+	AbortDrains      int64   `json:"abort_drains"`
+	AbortDrainMeanUs float64 `json:"abort_drain_mean_us"` // mean cutoff→drain latency, µs
+	TTProbes         int64   `json:"tt_probes"`
+	TTHits           int64   `json:"tt_hits"`
+	TTHitRate        float64 `json:"tt_hit_rate"` // TTHits/TTProbes; 0 when no probes
+	TTStores         int64   `json:"tt_stores"`
+	TTEvictions      int64   `json:"tt_evictions"`
+	DequeHighWater   int64   `json:"deque_high_water"`
+	// LoadSkew is max-over-workers tasks divided by the mean; 1.0 is a
+	// perfectly even split, 0 when no tasks ran.
+	LoadSkew       float64 `json:"load_skew"`
+	PerWorkerTasks []int64 `json:"per_worker_tasks,omitempty"`
+	MsgsSent       int64   `json:"msgs_sent,omitempty"`
+	MsgsRecv       int64   `json:"msgs_recv,omitempty"`
+	MsgsStale      int64   `json:"msgs_stale,omitempty"`
+}
+
+// Report derives the condensed metrics from a snapshot.
+func (s Snapshot) Report() Report {
+	t := s.Total
+	rep := Report{
+		Workers:        len(s.PerWorker),
+		Nodes:          t.Nodes,
+		Tasks:          t.Tasks,
+		Splits:         t.Splits,
+		StealAttempts:  t.StealAttempts,
+		Steals:         t.Steals,
+		Aborts:         t.Aborts,
+		AbortDrains:    t.AbortDrains,
+		TTProbes:       t.TTProbes,
+		TTHits:         t.TTHits,
+		TTStores:       t.TTStores,
+		TTEvictions:    t.TTEvictions,
+		DequeHighWater: t.DequeMax,
+	}
+	if t.StealAttempts > 0 {
+		rep.StealEfficiency = float64(t.Steals) / float64(t.StealAttempts)
+	}
+	if t.AbortDrains > 0 {
+		rep.AbortDrainMeanUs = float64(t.AbortDrainNs) / float64(t.AbortDrains) / 1e3
+	}
+	if t.TTProbes > 0 {
+		rep.TTHitRate = float64(t.TTHits) / float64(t.TTProbes)
+	}
+	if len(s.PerWorker) > 0 && t.Tasks > 0 {
+		var max int64
+		rep.PerWorkerTasks = make([]int64, len(s.PerWorker))
+		for i, w := range s.PerWorker {
+			rep.PerWorkerTasks[i] = w.Tasks
+			if w.Tasks > max {
+				max = w.Tasks
+			}
+		}
+		mean := float64(t.Tasks) / float64(len(s.PerWorker))
+		rep.LoadSkew = float64(max) / mean
+	}
+	rep.MsgsSent = t.MsgsSent
+	rep.MsgsRecv = t.MsgsRecv
+	rep.MsgsStale = t.MsgsStale
+	return rep
+}

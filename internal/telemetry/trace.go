@@ -1,0 +1,120 @@
+package telemetry
+
+// Span recording and the Chrome trace_event writer. Spans model split-
+// point lifetimes: a split opens when the sibling tasks are pushed, the
+// owner starts joining (helping) immediately after, and the split drains
+// when the last sibling completes. WriteTrace emits the spans in the
+// Trace Event Format consumed by chrome://tracing and Perfetto: one "X"
+// (complete) event per span on the owning worker's track, with the
+// join-to-drain wait as a nested event, so stalls and abort storms are
+// visible at a glance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span is one recorded split-point lifetime. Times are Recorder.Now()
+// nanoseconds (monotonic since the recorder's epoch).
+type Span struct {
+	Worker  int    // owning worker (trace track)
+	Name    string // event name, e.g. "split"
+	Start   int64  // split opened (tasks pushed)
+	Join    int64  // owner began helping/joining
+	End     int64  // join drained
+	Tasks   int    // sibling tasks scheduled
+	Aborted bool   // a beta cutoff pre-empted the split
+}
+
+// RecordSpan appends a span if tracing is on; past the buffer bound it
+// only counts the drop. Safe from any worker.
+func (r *Recorder) RecordSpan(s Span) {
+	if !r.TraceEnabled() {
+		return
+	}
+	r.mu.Lock()
+	if len(r.spans) < r.maxSpans {
+		r.spans = append(r.spans, s)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans and the number dropped past
+// the buffer bound.
+func (r *Recorder) Spans() ([]Span, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...), r.dropped
+}
+
+// traceEvent is one entry of the Trace Event Format. Durations and
+// timestamps are microseconds (floats), per the format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteTrace emits spans as a Chrome trace_event JSON document. The
+// output is deterministic for a given span slice (golden-testable): one
+// object per line, spans in recording order, each as a "split" complete
+// event plus a nested "join" event covering the help-until-drain phase.
+func WriteTrace(w io.Writer, spans []Span) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e traceEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep, first = "", false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+	for _, s := range spans {
+		name := s.Name
+		if name == "" {
+			name = "split"
+		}
+		if err := emit(traceEvent{
+			Name: name, Cat: "search", Ph: "X", Pid: 0, Tid: s.Worker,
+			Ts: us(s.Start), Dur: us(s.End - s.Start),
+			Args: map[string]any{"aborted": s.Aborted, "tasks": s.Tasks},
+		}); err != nil {
+			return err
+		}
+		if err := emit(traceEvent{
+			Name: name + ".join", Cat: "search", Ph: "X", Pid: 0, Tid: s.Worker,
+			Ts: us(s.Join), Dur: us(s.End - s.Join),
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteTrace emits this recorder's spans (see the package-level
+// WriteTrace). Nil-safe: a nil recorder writes an empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	spans, _ := r.Spans()
+	return WriteTrace(w, spans)
+}

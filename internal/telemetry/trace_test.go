@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteTraceGolden pins the exact trace_event output for a fixed span
+// slice: the Chrome/Perfetto loaders are outside our tests, so the format
+// is frozen byte-for-byte here.
+func TestWriteTraceGolden(t *testing.T) {
+	spans := []Span{
+		{Worker: 0, Name: "split", Start: 1000, Join: 2500, End: 4000, Tasks: 3, Aborted: false},
+		{Worker: 2, Name: "", Start: 5000, Join: 5000, End: 9500, Tasks: 1, Aborted: true},
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"split","cat":"search","ph":"X","pid":0,"tid":0,"ts":1,"dur":3,"args":{"aborted":false,"tasks":3}},
+{"name":"split.join","cat":"search","ph":"X","pid":0,"tid":0,"ts":2.5,"dur":1.5},
+{"name":"split","cat":"search","ph":"X","pid":0,"tid":2,"ts":5,"dur":4.5,"args":{"aborted":true,"tasks":1}},
+{"name":"split.join","cat":"search","ph":"X","pid":0,"tid":2,"ts":5,"dur":4.5}
+]}
+`
+	if sb.String() != want {
+		t.Fatalf("trace output drifted:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteTraceParses: the golden bytes must also be valid JSON with the
+// structure the viewers expect.
+func TestWriteTraceParses(t *testing.T) {
+	r := NewRecorder()
+	r.EnableTrace(0)
+	r.RecordSpan(Span{Worker: 1, Start: 10, Join: 20, End: 30, Tasks: 2})
+	var sb strings.Builder
+	if err := r.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 2 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if doc.TraceEvents[0].Ph != "X" || doc.TraceEvents[0].Ts != 0.01 {
+		t.Fatalf("unexpected first event: %+v", doc.TraceEvents[0])
+	}
+}
+
+// TestEmptyTrace: no spans still yields a loadable document (and a nil
+// recorder writes the same).
+func TestEmptyTrace(t *testing.T) {
+	for _, r := range []*Recorder{nil, NewRecorder()} {
+		var sb strings.Builder
+		if err := r.WriteTrace(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+			t.Fatalf("empty trace not valid JSON: %v", err)
+		}
+	}
+}
+
+// TestSpanCap: spans beyond the EnableTrace bound are counted as dropped,
+// not stored — tracing a long search must not grow memory without limit.
+func TestSpanCap(t *testing.T) {
+	r := NewRecorder()
+	r.EnableTrace(3)
+	for i := 0; i < 10; i++ {
+		r.RecordSpan(Span{Start: int64(i)})
+	}
+	spans, dropped := r.Spans()
+	if len(spans) != 3 || dropped != 7 {
+		t.Fatalf("got %d spans, %d dropped; want 3 and 7", len(spans), dropped)
+	}
+	// Tracing off: RecordSpan must be a no-op.
+	r2 := NewRecorder()
+	r2.RecordSpan(Span{})
+	if spans, _ := r2.Spans(); len(spans) != 0 {
+		t.Fatal("span recorded with tracing off")
+	}
+}
