@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-smoke vet lint
+.PHONY: all build test race bench bench-engine bench-smoke stat vet lint
 
 all: build test
 
@@ -27,13 +27,24 @@ bench-engine:
 	$(GO) run ./cmd/gtbench -enginebench BENCH_engine.json
 
 # CI bench smoke: one benchmark iteration to prove the harness runs, then
-# a fresh enginebench document validated by the -checkbench gate (schema,
-# pooled >= sequential on the split-dense workload, single-worker
-# telemetry sanity).
+# two enginebench runs appended to a fresh trajectory — validated by the
+# -checkbench gate (schema, pooled >= sequential on the split-dense
+# workload, single-worker telemetry sanity) and diffed by gtstat (latest
+# run vs the first; both ran on this machine, so >15% is a real
+# regression, not host noise). The Prometheus exposition of the
+# instrumented pass lands in /tmp/bench-smoke.prom.
 bench-smoke:
 	$(GO) test -bench='BenchmarkEnginePooled' -benchtime=1x -run='^$$' ./internal/engine/
+	rm -f /tmp/bench-smoke.json
 	$(GO) run ./cmd/gtbench -enginebench /tmp/bench-smoke.json -enginereps 2
+	$(GO) run ./cmd/gtbench -enginebench /tmp/bench-smoke.json -enginereps 2 -promout /tmp/bench-smoke.prom
 	$(GO) run ./cmd/gtbench -checkbench /tmp/bench-smoke.json
+	$(GO) run ./cmd/gtstat -threshold 0.15 /tmp/bench-smoke.json
+
+# Diff the committed trajectory: latest run vs all earlier runs, failing
+# on a >15% nodes/sec regression in any aligned configuration.
+stat:
+	$(GO) run ./cmd/gtstat BENCH_engine.json
 
 vet:
 	$(GO) vet ./...

@@ -3,9 +3,10 @@ package main
 // Engine substrate benchmark → BENCH_engine.json.
 //
 // `gtbench -enginebench BENCH_engine.json` measures the game engine's
-// execution substrates and writes a single machine-readable JSON document:
-// machine info, the commit, and one record per configuration with ns/op,
-// nodes/op, nodes/sec, allocs/op and bytes/op. Two workloads are measured:
+// execution substrates and appends one run to a machine-readable JSON
+// trajectory (internal/benchfmt): machine info, the commit, and one
+// record per configuration with ns/op, nodes/op, nodes/sec, allocs/op
+// and bytes/op. Two workloads are measured:
 //
 //   - "tree": a pessimally-ordered synthetic tree (engine.NewPessimalTree)
 //     where alpha-beta prunes little and nearly every interior node splits
@@ -16,77 +17,31 @@ package main
 //
 // Configurations: sequential negamax, the legacy goroutine-per-split
 // "spawn" cascade (engine.SearchParallelSpawn), and the pooled
-// work-stealing cascade across a worker sweep. The file is the first point
-// of the BENCH_*.json trajectory: later commits append comparable
-// documents, so regressions show up as a broken time series.
+// work-stealing cascade across a worker sweep. Each run is stamped with
+// the commit, UTC date, Go version and GOMAXPROCS and appended to the
+// document's runs[] history (the latest run is mirrored at the top
+// level for v1 consumers); regressions show up as a broken time series,
+// and `gtstat` turns two points of it into a pass/fail verdict.
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
 
+	"gametree/internal/benchfmt"
 	"gametree/internal/engine"
 	"gametree/internal/games"
 	"gametree/internal/telemetry"
 )
 
-const engineBenchSchema = "gametree/bench-engine/v1"
-
-type engineBenchDoc struct {
-	Schema    string            `json:"schema"`
-	Generated string            `json:"generated"`
-	Commit    string            `json:"commit"`
-	Machine   machineInfo       `json:"machine"`
-	Results   []engineBenchItem `json:"benchmarks"`
-	// Telemetry holds one search-telemetry report per instrumented
-	// configuration (an extra, untimed run — the timed rows above stay
-	// uninstrumented). See internal/telemetry for counter semantics.
-	Telemetry []telemetryEntry `json:"telemetry,omitempty"`
-}
-
-// telemetryEntry pairs a telemetry report with the configuration that
-// produced it.
-type telemetryEntry struct {
-	Workload string           `json:"workload"`
-	Name     string           `json:"name"`
-	Workers  int              `json:"workers"`
-	Report   telemetry.Report `json:"report"`
-}
-
-type machineInfo struct {
-	OS         string `json:"os"`
-	Arch       string `json:"arch"`
-	CPUs       int    `json:"cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
-}
-
-type engineBenchItem struct {
-	Workload    string  `json:"workload"` // tree | connect4
-	Name        string  `json:"name"`     // sequential | spawn | pooled | pooled_tt
-	Workers     int     `json:"workers"`  // 0 for sequential
-	Reps        int     `json:"reps"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	NodesPerOp  float64 `json:"nodes_per_op"`
-	NodesPerSec float64 `json:"nodes_per_sec"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	Value       int32   `json:"value"` // search value: must agree per workload
-	// Throughput ratios against the two baselines of the same workload
-	// (zero for the baselines themselves).
-	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
-	SpeedupVsSpawn      float64 `json:"speedup_vs_spawn,omitempty"`
-}
-
 // measure times reps runs of search (after one untimed warm-up), with
 // allocation counts from runtime.ReadMemStats deltas.
-func measure(workload, name string, workers, reps int, search func() (engine.Result, error)) (engineBenchItem, error) {
+func measure(workload, name string, workers, reps int, search func() (engine.Result, error)) (benchfmt.Item, error) {
 	if _, err := search(); err != nil {
-		return engineBenchItem{}, fmt.Errorf("%s/%s: %w", workload, name, err)
+		return benchfmt.Item{}, fmt.Errorf("%s/%s: %w", workload, name, err)
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -97,14 +52,14 @@ func measure(workload, name string, workers, reps int, search func() (engine.Res
 	for i := 0; i < reps; i++ {
 		r, err := search()
 		if err != nil {
-			return engineBenchItem{}, fmt.Errorf("%s/%s: %w", workload, name, err)
+			return benchfmt.Item{}, fmt.Errorf("%s/%s: %w", workload, name, err)
 		}
 		nodes += r.Nodes
 		value = r.Value
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return engineBenchItem{
+	return benchfmt.Item{
 		Workload:    workload,
 		Name:        name,
 		Workers:     workers,
@@ -121,10 +76,10 @@ func measure(workload, name string, workers, reps int, search func() (engine.Res
 // benchWorkload measures every substrate configuration on one position.
 // plain is the seed-engine view of the position (no MoveAppender); pos is
 // the preferred view (with AppendMoves where the game supports it).
-func benchWorkload(workload string, plain, pos engine.Position, depth, reps int) ([]engineBenchItem, error) {
+func benchWorkload(workload string, plain, pos engine.Position, depth, reps int) ([]benchfmt.Item, error) {
 	ctx := context.Background()
 	maxWorkers := runtime.GOMAXPROCS(0)
-	var items []engineBenchItem
+	var items []benchfmt.Item
 
 	seq, err := measure(workload, "sequential", 0, reps, func() (engine.Result, error) {
 		return engine.Search(plain, depth), nil
@@ -174,22 +129,27 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 }
 
 // collectTelemetry runs one instrumented pooled search per configuration
-// of interest and returns the resulting reports. These runs are untimed —
-// the timed benchmark rows stay uninstrumented so the trajectory is not
-// polluted by counter overhead. When tracePath is non-empty the tree
-// workload's split-point spans are written there as Chrome trace_event
-// JSON (load via chrome://tracing or Perfetto).
-func collectTelemetry(depth int, tracePath string) ([]telemetryEntry, error) {
+// of interest on the session recorder and returns the resulting reports
+// (counters plus the histogram quantiles — abort-drain latency, task run
+// time, steal retries). These runs are untimed — the timed benchmark
+// rows stay uninstrumented so the trajectory is not polluted by counter
+// overhead. The recorder is Reset before each configuration so every
+// report stands alone; the last configuration's counters are left live
+// for the /metrics endpoint and -promout. When tracePath is non-empty
+// the 4-way tree run's split-point spans are written there as Chrome
+// trace_event JSON (load via chrome://tracing or Perfetto).
+func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string) ([]benchfmt.TelemetryEntry, error) {
 	ctx := context.Background()
 	maxWorkers := runtime.GOMAXPROCS(0)
-	var entries []telemetryEntry
+	var entries []benchfmt.TelemetryEntry
 
-	run := func(workload, name string, workers int, rec *telemetry.Recorder, pos engine.Position, d int, table *engine.Table) error {
+	run := func(workload, name string, workers int, pos engine.Position, d int, table *engine.Table) error {
+		rec.Reset()
 		if _, err := engine.SearchParallelOpt(ctx, pos, d,
 			engine.SearchOptions{Table: table, Workers: workers, Telemetry: rec}); err != nil {
 			return fmt.Errorf("telemetry %s/%s(workers=%d): %w", workload, name, workers, err)
 		}
-		entries = append(entries, telemetryEntry{
+		entries = append(entries, benchfmt.TelemetryEntry{
 			Workload: workload, Name: name, Workers: workers,
 			Report: rec.Snapshot().Report(),
 		})
@@ -200,19 +160,17 @@ func collectTelemetry(depth int, tracePath string) ([]telemetryEntry, error) {
 	// must read zero there) and one at 4-way concurrency so steal and
 	// abort-drain figures are populated even on narrow hosts.
 	tree := engine.NewPessimalTree(8, 4, 0)
-	rec := telemetry.NewRecorder()
-	if err := run("tree", "pooled", 1, rec, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+	if err := run("tree", "pooled", 1, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
 		return nil, err
 	}
-	traced := telemetry.NewRecorder()
 	if tracePath != "" {
-		traced.EnableTrace(0)
+		rec.EnableTrace(0)
 	}
 	concurrency := 4
 	if maxWorkers > concurrency {
 		concurrency = maxWorkers
 	}
-	if err := run("tree", "pooled", concurrency, traced, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+	if err := run("tree", "pooled", concurrency, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
 		return nil, err
 	}
 	if tracePath != "" {
@@ -220,7 +178,7 @@ func collectTelemetry(depth int, tracePath string) ([]telemetryEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := traced.WriteTrace(f); err != nil {
+		if err := rec.WriteTrace(f); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -230,19 +188,20 @@ func collectTelemetry(depth int, tracePath string) ([]telemetryEntry, error) {
 	}
 
 	// Real game with a shared transposition table: TT probe/hit/eviction
-	// counters are the signal here.
-	ttRec := telemetry.NewRecorder()
-	if err := run("connect4", "pooled_tt", maxWorkers, ttRec,
+	// counters and the probe-depth histogram are the signal here.
+	if err := run("connect4", "pooled_tt", maxWorkers,
 		games.StandardConnect4(), depth, engine.NewTable(1<<18)); err != nil {
 		return nil, err
 	}
 	return entries, nil
 }
 
-// runEngineBench measures both workloads and writes the document to path.
-// When tracePath is non-empty, the instrumented tree run also emits a
-// Chrome trace_event file there.
-func runEngineBench(path string, depth, reps int, tracePath string) error {
+// runEngineBench measures both workloads and appends the run to the
+// trajectory at path (creating the document if absent, upgrading a v1
+// snapshot in place). The instrumented telemetry passes run on rec —
+// shared with the -pprof /metrics endpoint — and, when tracePath is
+// non-empty, also emit a Chrome trace_event file there.
+func runEngineBench(path string, depth, reps int, tracePath string, rec *telemetry.Recorder) error {
 	tree := engine.NewPessimalTree(8, 4, 0)
 	items, err := benchWorkload("tree", tree, (*engine.BenchTreeAppender)(tree), 8, reps)
 	if err != nil {
@@ -273,55 +232,57 @@ func runEngineBench(path string, depth, reps int, tracePath string) error {
 	}
 	items = append(items, tt)
 
-	entries, err := collectTelemetry(depth, tracePath)
+	entries, err := collectTelemetry(rec, depth, tracePath)
 	if err != nil {
 		return err
 	}
 
-	doc := engineBenchDoc{
-		Schema:    engineBenchSchema,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Commit:    vcsRevision(),
-		Machine: machineInfo{
-			OS:         runtime.GOOS,
-			Arch:       runtime.GOARCH,
-			CPUs:       runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			GoVersion:  runtime.Version(),
-		},
-		Results:   items,
-		Telemetry: entries,
+	doc := &benchfmt.Doc{Schema: benchfmt.SchemaV2}
+	if _, statErr := os.Stat(path); statErr == nil {
+		// Append to the existing trajectory; a corrupt document is an
+		// error, not a silent restart of the history.
+		if doc, err = benchfmt.Load(path); err != nil {
+			return err
+		}
 	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
+	doc.Machine = benchfmt.Machine{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	doc.Append(benchfmt.Run{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Commit:     vcsRevision(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: items,
+		Telemetry:  entries,
+	})
+	return benchfmt.Write(path, doc)
 }
 
 // checkEngineBench validates a BENCH_engine.json document — the CI
-// bench-smoke gate. It asserts that the JSON parses against the current
-// schema, that every workload has a sequential baseline and at least one
-// pooled row, and that on the split-dense "tree" workload the best pooled
-// configuration is at least as fast as sequential (that workload has a
-// multiple-x margin, so the assertion is robust to CI-runner noise; the
-// connect4 ratio hovers near 1.0 on narrow hosts and is deliberately not
-// gated).
+// bench-smoke gate. It accepts schema v1 and v2, and asserts that the
+// latest run parses, that every workload has a sequential baseline and
+// at least one pooled row, and that on the split-dense "tree" workload
+// the best pooled configuration is at least as fast as sequential (that
+// workload has a multiple-x margin, so the assertion is robust to
+// CI-runner noise; the connect4 ratio hovers near 1.0 on narrow hosts
+// and is deliberately not gated).
 func checkEngineBench(path string) error {
-	raw, err := os.ReadFile(path)
+	doc, err := benchfmt.Load(path)
 	if err != nil {
 		return err
 	}
-	var doc engineBenchDoc
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if doc.Schema != engineBenchSchema {
-		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, engineBenchSchema)
+	latest := doc.Latest()
+	if latest == nil {
+		return fmt.Errorf("%s: document has no runs", path)
 	}
 	seq := map[string]float64{}
 	bestPooled := map[string]float64{}
-	for _, it := range doc.Results {
+	for _, it := range latest.Benchmarks {
 		if it.NodesPerSec <= 0 {
 			return fmt.Errorf("%s: %s/%s has non-positive nodes_per_sec", path, it.Workload, it.Name)
 		}
@@ -346,14 +307,14 @@ func checkEngineBench(path string) error {
 		return fmt.Errorf("%s: best pooled tree throughput %.0f nodes/s below sequential %.0f",
 			path, bestPooled["tree"], seq["tree"])
 	}
-	for _, te := range doc.Telemetry {
+	for _, te := range latest.Telemetry {
 		if te.Workers == 1 && (te.Report.Steals != 0 || te.Report.StealAttempts != 0) {
 			return fmt.Errorf("%s: single-worker telemetry reports steals (%d attempts, %d steals)",
 				path, te.Report.StealAttempts, te.Report.Steals)
 		}
 	}
-	fmt.Printf("checkbench %s: ok (%d benchmark rows, %d telemetry entries, tree pooled/seq %.2fx)\n",
-		path, len(doc.Results), len(doc.Telemetry), bestPooled["tree"]/seq["tree"])
+	fmt.Printf("checkbench %s: ok (%d runs, %d benchmark rows, %d telemetry entries, tree pooled/seq %.2fx)\n",
+		path, len(doc.Runs), len(latest.Benchmarks), len(latest.Telemetry), bestPooled["tree"]/seq["tree"])
 	return nil
 }
 
@@ -378,4 +339,18 @@ func vcsRevision() string {
 		rev += "-dirty"
 	}
 	return rev
+}
+
+// writeProm dumps the session recorder's Prometheus exposition to path —
+// the same text /metrics serves, as a file artifact for CI.
+func writeProm(path string, rec *telemetry.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,10 +14,14 @@
 //	gtbench -enginebench BENCH_engine.json -telemetry trace.json
 //	                        # ... and a Chrome trace_event file of the
 //	                        # instrumented run (chrome://tracing, Perfetto)
+//	gtbench -enginebench BENCH_engine.json -promout metrics.prom
+//	                        # ... and dump the Prometheus text exposition
+//	                        # of the instrumented run to a file
 //	gtbench -checkbench BENCH_engine.json
 //	                        # validate a previously written document (CI)
 //	gtbench -pprof localhost:6060 ...
-//	                        # serve net/http/pprof + expvar while running
+//	                        # serve net/http/pprof + expvar + /metrics
+//	                        # while running
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"gametree/internal/experiments"
+	"gametree/internal/telemetry"
 )
 
 func main() {
@@ -50,12 +55,18 @@ func main() {
 
 		checkBench   = flag.String("checkbench", "", "validate an -enginebench JSON document and exit (CI smoke gate)")
 		telemetryOut = flag.String("telemetry", "", "with -enginebench: also write a Chrome trace_event file of the instrumented run")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while running")
+		promOut      = flag.String("promout", "", "with -enginebench: write the final Prometheus exposition to this file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
 
+	// Session recorder for the instrumented -enginebench passes; /metrics
+	// serves its live counters and histograms (PromHandler is nil-safe, so
+	// the endpoint also exists — all zeros — for plain suite runs).
+	rec := telemetry.NewRecorder()
+
 	if *pprofAddr != "" {
-		startPprof(*pprofAddr)
+		startPprof(*pprofAddr, rec)
 	}
 
 	if *checkBench != "" {
@@ -72,9 +83,15 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		if err := runEngineBench(*engineBench, *engineDepth, *engineReps, *telemetryOut); err != nil {
+		if err := runEngineBench(*engineBench, *engineDepth, *engineReps, *telemetryOut, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
+		}
+		if *promOut != "" {
+			if err := writeProm(*promOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "gtbench:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("wrote %s in %s\n", *engineBench, time.Since(start).Round(time.Millisecond))
 		return
@@ -137,16 +154,19 @@ func main() {
 
 // startPprof serves the default mux — which the blank net/http/pprof
 // import populates with /debug/pprof/ and the expvar import with
-// /debug/vars — on addr, in the background. Profile a live run with e.g.
+// /debug/vars — on addr, in the background, plus a Prometheus /metrics
+// endpoint exposing the session recorder's counters and histograms.
+// Profile a live run with e.g.
 // `go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10`.
-func startPprof(addr string) {
+func startPprof(addr string, rec *telemetry.Recorder) {
 	expvar.NewString("gtbench_start").Set(time.Now().UTC().Format(time.RFC3339))
+	http.Handle("/metrics", telemetry.PromHandler(rec))
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench: pprof server:", err)
 		}
 	}()
-	fmt.Printf("pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+	fmt.Printf("pprof/expvar/metrics listening on http://%s/debug/pprof/\n", addr)
 }
 
 func writeTable(dir, name string, render func(io.Writer) error) {

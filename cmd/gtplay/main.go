@@ -8,7 +8,11 @@
 //	gtplay -game connect4 -selfplay       # engine vs engine
 //	gtplay -game connect4 -selfplay -telemetry trace.json
 //	                                      # + counters on exit, Chrome trace
-//	gtplay -pprof localhost:6060 ...      # live pprof/expvar while playing
+//	gtplay -game connect4 -selfplay -events events.jsonl
+//	                                      # + structured scheduler event log
+//	                                      # (replay: gttrace -events ...)
+//	gtplay -pprof localhost:6060 ...      # live pprof/expvar//metrics while
+//	                                      # playing
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 	"gametree"
 	"gametree/internal/games"
+	"gametree/internal/telemetry"
 )
 
 func main() {
@@ -37,29 +42,34 @@ func main() {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		selfplay     = flag.Bool("selfplay", false, "engine plays both sides")
 		telemetryOut = flag.String("telemetry", "", "record search telemetry across the game; write a Chrome trace_event file here and print the counter report on exit")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while playing")
+		eventsOut    = flag.String("events", "", "record scheduler events (split-open/join/abort/steal) across the game; write a JSONL log here on exit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address (e.g. localhost:6060) while playing")
 	)
 	flag.Parse()
 
 	// One recorder spans the whole game: every engine move accumulates
 	// into the same counters, so the exit report covers the session.
 	var rec *gametree.TelemetryRecorder
-	if *telemetryOut != "" || *pprofAddr != "" {
+	if *telemetryOut != "" || *eventsOut != "" || *pprofAddr != "" {
 		rec = gametree.NewTelemetryRecorder()
 	}
 	if *telemetryOut != "" {
 		rec.EnableTrace(0)
 	}
+	if *eventsOut != "" {
+		rec.EnableEvents(0)
+	}
 	if *pprofAddr != "" {
 		expvar.Publish("gtplay_telemetry", expvar.Func(func() any {
 			return rec.Snapshot().Report()
 		}))
+		http.Handle("/metrics", telemetry.PromHandler(rec))
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "gtplay: pprof server:", err)
 			}
 		}()
-		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Printf("pprof/expvar/metrics listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	var err error
@@ -80,10 +90,36 @@ func main() {
 	if err == nil && *telemetryOut != "" {
 		err = dumpTelemetry(rec, *telemetryOut)
 	}
+	if err == nil && *eventsOut != "" {
+		err = dumpEvents(rec, *eventsOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gtplay:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpEvents writes the session's scheduler event log as JSONL, one
+// event per line (replayable with gttrace -events).
+func dumpEvents(rec *gametree.TelemetryRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteEvents(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	events, dropped := rec.Events()
+	if dropped > 0 {
+		fmt.Printf("wrote event log %s (%d events, %d dropped past the buffer cap)\n", path, len(events), dropped)
+	} else {
+		fmt.Printf("wrote event log %s (%d events)\n", path, len(events))
+	}
+	return nil
 }
 
 // dumpTelemetry prints the session's counter report and writes the

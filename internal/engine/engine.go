@@ -171,6 +171,7 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 			hash, hashed = h.Hash(), true
 			if e.tm != nil {
 				e.tm.TTProbes.Add(1)
+				e.tm.Hist[telemetry.HistTTProbeDepth].Observe(int64(depth))
 			}
 			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
 				if e.tm != nil {

@@ -180,20 +180,23 @@ func (d *deque) pop() *task {
 // steal removes the oldest task. Safe from any goroutine. sawWork
 // reports whether the deque was ever observed non-empty — it separates
 // "victim had nothing" from a real steal attempt, so the telemetry's
-// steal-efficiency ratio measures contention, not idle spinning.
-func (d *deque) steal() (t *task, sawWork bool) {
+// steal-efficiency ratio measures contention, not idle spinning. retries
+// counts the CAS rounds lost to other thieves (or the owner's pop) before
+// this attempt resolved; its distribution is the HistStealRetries family.
+func (d *deque) steal() (t *task, sawWork bool, retries int64) {
 	for {
 		tp := d.top.Load()
 		b := d.bottom.Load()
 		if tp >= b {
-			return nil, sawWork
+			return nil, sawWork, retries
 		}
 		sawWork = true
 		t = d.buf.Load().get(tp)
 		if d.top.CompareAndSwap(tp, tp+1) {
-			return t, true
+			return t, true, retries
 		}
 		// Lost the race; re-read indices and try again.
+		retries++
 	}
 }
 
@@ -316,13 +319,20 @@ func (p *pool) trySteal(w *worker) *task {
 		if v == w {
 			continue
 		}
-		t, sawWork := v.dq.steal()
+		t, sawWork, retries := v.dq.steal()
 		if w.tm != nil && sawWork {
 			w.tm.StealAttempts.Add(1)
+			w.tm.Hist[telemetry.HistStealRetries].Observe(retries)
 		}
 		if t != nil {
 			if w.tm != nil {
 				w.tm.Steals.Add(1)
+				if rec := p.rec; rec.EventsEnabled() {
+					rec.RecordEvent(telemetry.Event{
+						Ns: rec.Now(), Kind: telemetry.EventSteal,
+						Worker: w.id, Depth: t.depth,
+					})
+				}
 			}
 			return t
 		}
@@ -349,22 +359,40 @@ func (w *worker) runTask(t *task) {
 	if w.pool.stop.Load() || sp.aborted() {
 		if w.tm != nil {
 			w.tm.Aborts.Add(1) // skipped before running
+			w.recordAbortEvent(t)
 		}
 		sp.complete(t.idx, 0, false)
 		return
 	}
+	var startNs int64
 	if w.tm != nil {
 		w.tm.Tasks.Add(1)
+		startNs = w.pool.rec.Now()
 	}
 	prev := w.sp
 	w.sp = sp
 	v, _ := w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
 	w.sp = prev
 	ok := !w.pool.stop.Load() && !sp.aborted()
-	if !ok && w.tm != nil {
-		w.tm.Aborts.Add(1) // pre-empted mid-search
+	if w.tm != nil {
+		w.tm.Hist[telemetry.HistTaskRunNs].Observe(w.pool.rec.Now() - startNs)
+		if !ok {
+			w.tm.Aborts.Add(1) // pre-empted mid-search
+			w.recordAbortEvent(t)
+		}
 	}
 	sp.complete(t.idx, -v, ok)
+}
+
+// recordAbortEvent logs one abort to the structured event log, if it is
+// on. Only called on the instrumented path (w.tm non-nil).
+func (w *worker) recordAbortEvent(t *task) {
+	if rec := w.pool.rec; rec.EventsEnabled() {
+		rec.RecordEvent(telemetry.Event{
+			Ns: rec.Now(), Kind: telemetry.EventAbort,
+			Worker: w.id, Depth: t.depth,
+		})
+	}
 }
 
 // join blocks the splitting worker on the split's counter by helping: pop
@@ -393,8 +421,16 @@ func (w *worker) join(sp *splitPoint) {
 	// Drained. Record the cutoff-to-drain latency (if a beta cutoff was
 	// raised here) and the split's lifetime span.
 	if w.tm != nil && sp.cutNs != 0 {
+		drainNs := sp.rec.Now() - sp.cutNs
 		w.tm.AbortDrains.Add(1)
-		w.tm.AbortDrainNs.Add(sp.rec.Now() - sp.cutNs)
+		w.tm.AbortDrainNs.Add(drainNs)
+		w.tm.Hist[telemetry.HistAbortDrainNs].Observe(drainNs)
+	}
+	if sp.rec.EventsEnabled() && len(sp.tasks) > 0 {
+		sp.rec.RecordEvent(telemetry.Event{
+			Ns: sp.rec.Now(), Kind: telemetry.EventJoin,
+			Worker: w.id, Depth: sp.tasks[0].depth, Tasks: len(sp.tasks),
+		})
 	}
 	if joinNs != 0 {
 		sp.rec.RecordSpan(telemetry.Span{
@@ -443,6 +479,12 @@ func (w *worker) newSplit(up *splitPoint, alpha, beta, best int64, bestIdx int, 
 	if w.tm != nil {
 		w.tm.Splits.Add(1)
 		w.tm.ObserveDeque(w.dq.bottom.Load() - w.dq.top.Load())
+		if sp.rec.EventsEnabled() {
+			sp.rec.RecordEvent(telemetry.Event{
+				Ns: sp.rec.Now(), Kind: telemetry.EventSplitOpen,
+				Worker: w.id, Depth: depth, Tasks: n,
+			})
+		}
 	}
 	return sp
 }

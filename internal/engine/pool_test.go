@@ -42,7 +42,7 @@ func TestDequeOwnerThieves(t *testing.T) {
 					return
 				default:
 				}
-				tk, _ := d.steal()
+				tk, _, _ := d.steal()
 				grab(tk)
 			}
 		}()

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -239,5 +241,124 @@ func TestTelemetryNilRecorderSearch(t *testing.T) {
 	}
 	if plain.Value != inst.Value {
 		t.Fatalf("instrumentation changed the value: %d vs %d", plain.Value, inst.Value)
+	}
+}
+
+// TestTelemetryHistograms: an instrumented pooled search must populate
+// the per-family histograms consistently with its counters — every
+// executed task has a run-time sample, every abort drain a latency
+// sample, every split a deque-depth sample, every TT probe a depth
+// sample — and the quantiles must be ordered.
+func TestTelemetryHistograms(t *testing.T) {
+	tree := NewPessimalTree(8, 4, 0)
+	rec := telemetry.NewRecorder()
+	if _, err := SearchParallelOpt(context.Background(), (*BenchTreeAppender)(tree), 8,
+		SearchOptions{Workers: 4, Telemetry: rec}); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	c := s.Total
+
+	if run := s.Hist[telemetry.HistTaskRunNs]; run.Count != c.Tasks {
+		t.Fatalf("task run samples %d != tasks %d", run.Count, c.Tasks)
+	}
+	if drain := s.Hist[telemetry.HistAbortDrainNs]; drain.Count != c.AbortDrains {
+		t.Fatalf("drain samples %d != abort drains %d", drain.Count, c.AbortDrains)
+	}
+	if dq := s.Hist[telemetry.HistDequeDepth]; dq.Count != c.Splits {
+		t.Fatalf("deque samples %d != splits %d", dq.Count, c.Splits)
+	} else if dq.Max != c.DequeMax {
+		t.Fatalf("deque histogram max %d != high-water counter %d", dq.Max, c.DequeMax)
+	}
+	if sr := s.Hist[telemetry.HistStealRetries]; sr.Count != c.StealAttempts {
+		t.Fatalf("steal-retry samples %d != steal attempts %d", sr.Count, c.StealAttempts)
+	}
+
+	rep := s.Report()
+	if c.AbortDrains > 0 {
+		if !(rep.AbortDrainP50Us > 0 && rep.AbortDrainP50Us <= rep.AbortDrainP95Us &&
+			rep.AbortDrainP95Us <= rep.AbortDrainP99Us && rep.AbortDrainP99Us <= rep.AbortDrainMaxUs) {
+			t.Fatalf("drain quantiles disordered: %+v", rep)
+		}
+	}
+	if c.Tasks > 0 && !(rep.TaskRunP50Us > 0 && rep.TaskRunP50Us <= rep.TaskRunP99Us) {
+		t.Fatalf("task run quantiles disordered: p50=%v p99=%v", rep.TaskRunP50Us, rep.TaskRunP99Us)
+	}
+
+	// TT probe depth: table-backed search on the hashed fixture.
+	rng := rand.New(rand.NewSource(35))
+	var next uint64
+	pos := buildDeepHashed(rng, 6, 3, &next)
+	ttRec := telemetry.NewRecorder()
+	if _, err := SearchParallelTT(context.Background(), pos, 6,
+		SearchOptions{Table: NewTable(1 << 10), Workers: 2, Telemetry: ttRec}); err != nil {
+		t.Fatal(err)
+	}
+	ts := ttRec.Snapshot()
+	if pd := ts.Hist[telemetry.HistTTProbeDepth]; pd.Count != ts.Total.TTProbes {
+		t.Fatalf("probe-depth samples %d != probes %d", pd.Count, ts.Total.TTProbes)
+	} else if pd.Max > 6 || pd.Max < 1 {
+		t.Fatalf("probe depth max %d outside the search depth range", pd.Max)
+	}
+}
+
+// TestTelemetryEventLog: with the event log on, the scheduler events must
+// reconcile with the counters (splits = split-open events, steals = steal
+// events) and replay cleanly through the JSONL round trip.
+func TestTelemetryEventLog(t *testing.T) {
+	tree := NewPessimalTree(7, 4, 0)
+	rec := telemetry.NewRecorder()
+	rec.EnableEvents(0)
+	if _, err := SearchParallelOpt(context.Background(), (*BenchTreeAppender)(tree), 7,
+		SearchOptions{Workers: 4, Telemetry: rec}); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped := rec.Events()
+	if dropped != 0 {
+		t.Fatalf("%d events dropped below the default cap", dropped)
+	}
+	c := rec.Snapshot().Total
+	kinds := map[string]int64{}
+	for i, e := range events {
+		kinds[e.Kind]++
+		if e.Ns < 0 || e.Worker < 0 || e.Worker >= 4 {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+	}
+	if kinds[telemetry.EventSplitOpen] != c.Splits {
+		t.Fatalf("%d split-open events for %d splits", kinds[telemetry.EventSplitOpen], c.Splits)
+	}
+	if kinds[telemetry.EventJoin] != c.Splits {
+		t.Fatalf("%d join events for %d splits", kinds[telemetry.EventJoin], c.Splits)
+	}
+	if kinds[telemetry.EventSteal] != c.Steals {
+		t.Fatalf("%d steal events for %d steals", kinds[telemetry.EventSteal], c.Steals)
+	}
+	if kinds[telemetry.EventAbort] != c.Aborts {
+		t.Fatalf("%d abort events for %d aborts", kinds[telemetry.EventAbort], c.Aborts)
+	}
+
+	// JSONL round trip and Chrome replay must both accept the log.
+	var jsonl strings.Builder
+	if err := rec.WriteEvents(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadEvents(strings.NewReader(jsonl.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	var trace strings.Builder
+	if err := telemetry.WriteEventTrace(&trace, back); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(trace.String()), &doc); err != nil {
+		t.Fatalf("event trace is not valid JSON: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != len(events) {
+		t.Fatalf("event trace has %v entries for %d events", doc["traceEvents"], len(events))
 	}
 }

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log₂ bucketing scheme the Prometheus
+// exposition and the README document: bucket 0 is v ≤ 1, bucket i is
+// (2^(i-1), 2^i].
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{1 << 20, 20},
+		{1<<20 + 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps before bucketing
+		}
+		if got := bucketOf(v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets; i++ {
+		up, prev := BucketUpper(i), BucketUpper(i-1)
+		if bucketOf(up) != i {
+			t.Errorf("upper bound %d not in its own bucket %d", up, i)
+		}
+		if bucketOf(prev+1) != i {
+			t.Errorf("lower edge %d of bucket %d lands in %d", prev+1, i, bucketOf(prev+1))
+		}
+	}
+}
+
+// TestObserveAndQuantiles checks count/sum/max bookkeeping and that
+// quantile estimates stay inside the bucket that holds the true value (the
+// documented factor-of-2 resolution).
+func TestObserveAndQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum %d, want %d", s.Sum, 1000*1001/2)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max %d, want 1000", s.Max)
+	}
+	if m := s.Mean(); m != 500.5 {
+		t.Fatalf("mean %v, want 500.5", m)
+	}
+	for _, c := range []struct {
+		q    float64
+		true float64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(c.q)
+		// The estimate must land in the same log₂ bucket as the true value.
+		if b, want := bucketOf(int64(got)), bucketOf(int64(c.true)); b != want {
+			t.Errorf("q%.2f = %v lands in bucket %d, true value %v in %d",
+				c.q, got, b, c.true, want)
+		}
+	}
+	if q := s.Quantile(1); q != 1000 {
+		t.Fatalf("q1.0 = %v, want the max 1000", q)
+	}
+
+	var empty Histogram
+	if !math.IsNaN(empty.Snapshot().Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	if empty.Snapshot().Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+}
+
+// TestMerge folds two snapshots and checks the aggregate.
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	a.Observe(100)
+	b.Observe(7)
+	b.Observe(5000)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.Sum != 4+100+7+5000 || sa.Max != 5000 {
+		t.Fatalf("merged snapshot wrong: %+v", sa)
+	}
+	if sa.Buckets[bucketOf(7)] != 1 || sa.Buckets[bucketOf(4)] != 1 {
+		t.Fatalf("merged buckets wrong: %+v", sa.Buckets)
+	}
+}
+
+// TestConcurrentObserveSnapshot is the race-detector guarantee of the
+// tentpole: observers hammer one histogram while a reader snapshots it,
+// asserting (a) the snapshot total count is monotone across successive
+// snapshots, (b) it never exceeds the observations issued, and (c) the
+// final snapshot conserves the exact total count and sum.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const writers = 4
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(int64(i*perWriter + j))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last int64
+		for {
+			s := h.Snapshot()
+			if s.Count < last {
+				t.Errorf("snapshot count regressed: %d -> %d", last, s.Count)
+				return
+			}
+			if s.Count > writers*perWriter {
+				t.Errorf("snapshot overcounts: %d > %d", s.Count, writers*perWriter)
+				return
+			}
+			last = s.Count
+			if s.Count == writers*perWriter {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	final := h.Snapshot()
+	if final.Count != writers*perWriter {
+		t.Fatalf("final count %d, want %d", final.Count, writers*perWriter)
+	}
+	var wantSum int64
+	for i := int64(0); i < writers*perWriter; i++ {
+		wantSum += i
+	}
+	if final.Sum != wantSum {
+		t.Fatalf("final sum %d, want %d", final.Sum, wantSum)
+	}
+	if final.Max != writers*perWriter-1 {
+		t.Fatalf("final max %d, want %d", final.Max, writers*perWriter-1)
+	}
+}

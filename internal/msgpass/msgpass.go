@@ -85,9 +85,10 @@ const (
 )
 
 type message struct {
-	typ msgType
-	v   tree.NodeID
-	val int8
+	typ    msgType
+	v      tree.NodeID
+	val    int8
+	sentNs int64 // recorder timestamp at send; queue-residence timebase
 }
 
 // mailbox is an unbounded MPSC queue so that sends never block (the model
@@ -173,6 +174,7 @@ type run struct {
 	t          *tree.Tree
 	procs      []*processor
 	nprocs     int
+	rec        *telemetry.Recorder // timebase for message queue residence
 	rootResult chan int8
 	expansions atomic.Int64
 	messages   atomic.Int64
@@ -246,6 +248,7 @@ func Evaluate(t *tree.Tree, opt Options) (Metrics, error) {
 	r := &run{
 		t:          t,
 		nprocs:     np,
+		rec:        rec,
 		rootResult: make(chan int8, 1),
 		workSpin:   opt.WorkPerExpansion,
 		reported:   make([]atomic.Bool, t.Len()),
@@ -334,6 +337,7 @@ func (r *run) dumpState() string {
 func (r *run) send(level int, m message) {
 	r.messages.Add(1)
 	r.byType[m.typ].Add(1)
+	m.sentNs = r.rec.Now()
 	if debugHook != nil {
 		debugHook(level, m)
 	}
@@ -380,6 +384,7 @@ func (p *processor) loop() {
 		}
 		for _, m := range msgs {
 			p.sh.MsgsRecv.Add(1)
+			p.sh.Hist[telemetry.HistMsgResidenceNs].Observe(p.r.rec.Now() - m.sentNs)
 			if debugHandle != nil {
 				debugHandle("h", p.id, m)
 			}

@@ -129,3 +129,27 @@ func TestStaleDropsCounted(t *testing.T) {
 		t.Fatal("no run recorded a stale drop; pre-emption telemetry looks dead")
 	}
 }
+
+// TestMsgResidenceHistogram: every message a processor drains is sampled
+// into the queue-residence family, so the family's count must equal the
+// receipts and the quantiles must be finite and ordered.
+func TestMsgResidenceHistogram(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	tr := tree.WorstCaseNOR(2, 8, 1)
+	m, err := Evaluate(tr, Options{Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recv int64
+	for _, ps := range m.PerProcessor {
+		recv += ps.Received
+	}
+	res := rec.Snapshot().Hist[telemetry.HistMsgResidenceNs]
+	if res.Count != recv {
+		t.Fatalf("residence samples %d != messages received %d", res.Count, recv)
+	}
+	p50, p99 := res.P50(), res.P99()
+	if !(p50 >= 0 && p99 >= p50 && float64(res.Max) >= p99) {
+		t.Fatalf("residence quantiles disordered: p50=%v p99=%v max=%d", p50, p99, res.Max)
+	}
+}

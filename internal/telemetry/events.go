@@ -1,0 +1,166 @@
+package telemetry
+
+// Bounded structured event log. Where spans summarise a split point's
+// whole lifetime, events record the individual scheduler decisions —
+// split-open, join, abort, steal — as they happen, each stamped with the
+// worker, the remaining depth and the recorder-epoch nanosecond. The log
+// is written as JSONL (one JSON object per line), the grep-able exchange
+// format; gttrace replays a log into the existing Chrome-trace path so
+// the same events can be eyeballed on a timeline.
+//
+// Recording is off by default and costs the engine one nil-safe branch
+// per site (EventsEnabled is an atomic load); when on, events append
+// under the recorder mutex into a bounded buffer — past the bound they
+// are counted, not stored, exactly like spans.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event kinds. Stable strings: they are the JSONL schema.
+const (
+	EventSplitOpen = "split-open" // a split pushed its sibling tasks
+	EventJoin      = "join"       // a split's join drained
+	EventAbort     = "abort"      // a task was skipped or pre-empted
+	EventSteal     = "steal"      // a worker stole a task
+)
+
+// Event is one scheduler event. Ns is Recorder.Now() nanoseconds
+// (monotonic since the recorder's epoch).
+type Event struct {
+	Ns     int64  `json:"ns"`
+	Kind   string `json:"kind"`
+	Worker int    `json:"worker"`
+	Depth  int    `json:"depth,omitempty"` // remaining search depth at the event
+	Tasks  int    `json:"tasks,omitempty"` // sibling tasks (split-open/join)
+}
+
+// defaultMaxEvents bounds the event buffer; a deep instrumented search
+// emits orders of magnitude more events than spans.
+const defaultMaxEvents = 1 << 18
+
+// EnableEvents turns the event log on. maxEvents bounds the buffer (<= 0
+// keeps the default); events beyond the bound are counted as dropped.
+func (r *Recorder) EnableEvents(maxEvents int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if maxEvents > 0 {
+		r.maxEvents = maxEvents
+	} else if r.maxEvents == 0 {
+		r.maxEvents = defaultMaxEvents
+	}
+	r.mu.Unlock()
+	r.eventsOn.Store(true)
+}
+
+// EventsEnabled reports whether events are being recorded. Nil-safe; this
+// is the one branch the engine pays per event site when the log is off.
+func (r *Recorder) EventsEnabled() bool { return r != nil && r.eventsOn.Load() }
+
+// RecordEvent appends an event if the log is on; past the buffer bound it
+// only counts the drop. Safe from any worker.
+func (r *Recorder) RecordEvent(e Event) {
+	if !r.EventsEnabled() {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) < r.maxEvents {
+		r.events = append(r.events, e)
+	} else {
+		r.droppedEvents++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events and the number dropped
+// past the buffer bound.
+func (r *Recorder) Events() ([]Event, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...), r.droppedEvents
+}
+
+// WriteEvents writes the recorded events as JSONL: one event object per
+// line, in recording order. Nil-safe: a nil recorder writes nothing.
+func (r *Recorder) WriteEvents(w io.Writer) error {
+	events, _ := r.Events()
+	return WriteEvents(w, events)
+}
+
+// WriteEvents writes events as JSONL.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses a JSONL event log (the WriteEvents format). Blank
+// lines are skipped; a malformed line is an error naming its number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("events line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// WriteEventTrace replays an event log into the Chrome trace_event
+// format: one instant event per log entry on the owning worker's track,
+// with kind, depth and task count as args. Deterministic for a given
+// event slice, like WriteTrace; load the output via chrome://tracing or
+// Perfetto, alongside (or instead of) the span trace.
+func WriteEventTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		args := map[string]any{"depth": e.Depth}
+		if e.Tasks > 0 {
+			args["tasks"] = e.Tasks
+		}
+		b, err := json.Marshal(traceEvent{
+			Name: e.Kind, Cat: "sched", Ph: "i", Pid: 0, Tid: e.Worker,
+			Ts: us(e.Ns), Args: args,
+		})
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", sep, b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -15,9 +15,17 @@
 //   - Snapshot sums the shards. It is intended for quiesce points (after
 //     a pool joins) but is safe at any time; a mid-run snapshot is simply
 //     a momentary view.
+//   - Each Shard also carries the fixed histogram families of
+//     internal/metrics (log₂ streaming histograms: abort-drain latency,
+//     task run time, steal retries, deque depth, TT probe depth, msgpass
+//     queue residence), merged across shards at Snapshot and published
+//     as p50/p95/p99/max in Report and as Prometheus text by WriteProm
+//     (served at /metrics on the -pprof mux of gtbench and gtplay).
 //   - A Recorder bundles the shards with an optional span recorder for
 //     split-point lifetimes (open → join → drain), which WriteTrace can
-//     emit as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//     emit as Chrome trace_event JSON (chrome://tracing, Perfetto), and
+//     an optional bounded structured event log (events.go) written as
+//     JSONL and replayable into the same Chrome-trace path by gttrace.
 //
 // A nil *Recorder is a valid "telemetry off" value: every method is
 // nil-receiver-safe, and the engine guards its increments with a single
@@ -28,7 +36,63 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gametree/internal/metrics"
 )
+
+// Histogram indices into Shard.Hist. Each family keeps the distribution
+// behind one of the cumulative counters (or a quantity no counter can
+// carry at all), per-shard and single-writer like the counters; Snapshot
+// merges them. The Prometheus exposition (WriteProm) publishes every
+// family; Report extracts the headline quantiles.
+const (
+	HistAbortDrainNs   = iota // cutoff→drain latency of aborted joins, ns
+	HistTaskRunNs             // wall time of one speculative task, ns
+	HistStealRetries          // CAS retries per steal attempt that saw work
+	HistDequeDepth            // deque depth observed at each split's push
+	HistTTProbeDepth          // remaining search depth at each TT probe
+	HistMsgResidenceNs        // msgpass mailbox residence (send→drain), ns
+	NumHists
+)
+
+// HistName returns the stable short name of a histogram family (also its
+// Prometheus metric name minus the "gametree_" prefix).
+func HistName(i int) string {
+	switch i {
+	case HistAbortDrainNs:
+		return "abort_drain_ns"
+	case HistTaskRunNs:
+		return "task_run_ns"
+	case HistStealRetries:
+		return "steal_retries"
+	case HistDequeDepth:
+		return "deque_depth"
+	case HistTTProbeDepth:
+		return "tt_probe_depth"
+	case HistMsgResidenceNs:
+		return "msg_residence_ns"
+	}
+	return ""
+}
+
+// HistHelp returns the Prometheus HELP text of a histogram family.
+func HistHelp(i int) string {
+	switch i {
+	case HistAbortDrainNs:
+		return "Cutoff-to-drain latency of beta-aborted joins, nanoseconds."
+	case HistTaskRunNs:
+		return "Wall time of one speculative sibling task, nanoseconds."
+	case HistStealRetries:
+		return "CAS retries per steal attempt on a non-empty victim deque."
+	case HistDequeDepth:
+		return "Owner deque depth observed when a split pushes its tasks."
+	case HistTTProbeDepth:
+		return "Remaining search depth at each transposition-table probe."
+	case HistMsgResidenceNs:
+		return "Message-passing mailbox residence from send to drain, nanoseconds."
+	}
+	return ""
+}
 
 // Shard is one worker's counter block. All fields are single-writer
 // (owner-only); readers use Snapshot. The block is padded to whole cache
@@ -70,14 +134,21 @@ type Shard struct {
 	MsgsSent      atomic.Int64
 	MsgsRecv      atomic.Int64
 	MsgsStale     atomic.Int64
+
+	// Hist keeps the distributions behind the counters above (see the
+	// Hist* index constants). Same discipline: single writer, atomic only
+	// so concurrent snapshots stay race-clean.
+	Hist [NumHists]metrics.Histogram
 }
 
-// ObserveDeque raises the deque high-water mark. Owner-only, like every
-// Shard write: the load-then-store is safe because no one else writes.
+// ObserveDeque raises the deque high-water mark and samples the depth
+// distribution. Owner-only, like every Shard write: the load-then-store
+// is safe because no one else writes.
 func (s *Shard) ObserveDeque(depth int64) {
 	if depth > s.DequeMax.Load() {
 		s.DequeMax.Store(depth)
 	}
+	s.Hist[HistDequeDepth].Observe(depth)
 }
 
 // Counts is a plain (non-atomic) image of one Shard, and the element of a
@@ -145,11 +216,12 @@ func (c *Counts) add(o Counts) {
 	c.MsgsStale += o.MsgsStale
 }
 
-// Snapshot is a point-in-time view of a Recorder: the per-shard counters
-// and their sum.
+// Snapshot is a point-in-time view of a Recorder: the per-shard counters,
+// their sum, and the shard-merged histogram families.
 type Snapshot struct {
 	PerWorker []Counts
 	Total     Counts
+	Hist      [NumHists]metrics.HistSnapshot
 }
 
 // defaultMaxSpans bounds the span buffer so tracing a long search cannot
@@ -161,19 +233,24 @@ const defaultMaxSpans = 1 << 16
 // with NewRecorder. A nil *Recorder means "telemetry off" and every
 // method on it is a no-op.
 type Recorder struct {
-	epoch   time.Time
-	tracing atomic.Bool
+	epoch    time.Time
+	tracing  atomic.Bool
+	eventsOn atomic.Bool
 
-	mu       sync.Mutex
-	shards   []*Shard
-	spans    []Span
-	maxSpans int
-	dropped  int64
+	mu            sync.Mutex
+	shards        []*Shard
+	spans         []Span
+	maxSpans      int
+	dropped       int64
+	events        []Event
+	maxEvents     int
+	droppedEvents int64
 }
 
-// NewRecorder returns an empty recorder with tracing off.
+// NewRecorder returns an empty recorder with tracing and the event log
+// off.
 func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now(), maxSpans: defaultMaxSpans}
+	return &Recorder{epoch: time.Now(), maxSpans: defaultMaxSpans, maxEvents: defaultMaxEvents}
 }
 
 // EnableTrace turns the span recorder on. maxSpans bounds the buffer
@@ -230,12 +307,16 @@ func (r *Recorder) Snapshot() Snapshot {
 	for i, s := range shards {
 		snap.PerWorker[i] = s.load()
 		snap.Total.add(snap.PerWorker[i])
+		for h := 0; h < NumHists; h++ {
+			snap.Hist[h].Merge(s.Hist[h].Snapshot())
+		}
 	}
 	return snap
 }
 
-// Reset zeroes every counter and drops recorded spans; the epoch and the
-// tracing flag are kept. Call only at quiesce points.
+// Reset zeroes every counter and histogram and drops recorded spans and
+// events; the epoch and the tracing/event flags are kept. Call only at
+// quiesce points.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
@@ -247,6 +328,8 @@ func (r *Recorder) Reset() {
 	}
 	r.spans = nil
 	r.dropped = 0
+	r.events = nil
+	r.droppedEvents = 0
 }
 
 // Report condenses a snapshot into the derived metrics the benchmarks and
@@ -263,12 +346,28 @@ type Report struct {
 	Aborts           int64   `json:"aborts"`
 	AbortDrains      int64   `json:"abort_drains"`
 	AbortDrainMeanUs float64 `json:"abort_drain_mean_us"` // mean cutoff→drain latency, µs
-	TTProbes         int64   `json:"tt_probes"`
-	TTHits           int64   `json:"tt_hits"`
-	TTHitRate        float64 `json:"tt_hit_rate"` // TTHits/TTProbes; 0 when no probes
-	TTStores         int64   `json:"tt_stores"`
-	TTEvictions      int64   `json:"tt_evictions"`
-	DequeHighWater   int64   `json:"deque_high_water"`
+	// Abort-drain latency quantiles from the HistAbortDrainNs family —
+	// the mean alone cannot expose tail regressions (Theorem 3's bounds
+	// are per-processor, i.e. about the tail, not the average).
+	AbortDrainP50Us float64 `json:"abort_drain_p50_us,omitempty"`
+	AbortDrainP95Us float64 `json:"abort_drain_p95_us,omitempty"`
+	AbortDrainP99Us float64 `json:"abort_drain_p99_us,omitempty"`
+	AbortDrainMaxUs float64 `json:"abort_drain_max_us,omitempty"`
+	// Task run-time quantiles (HistTaskRunNs): the grain-size distribution
+	// of speculative work, the load-balance counterpart of LoadSkew.
+	TaskRunP50Us float64 `json:"task_run_p50_us,omitempty"`
+	TaskRunP95Us float64 `json:"task_run_p95_us,omitempty"`
+	TaskRunP99Us float64 `json:"task_run_p99_us,omitempty"`
+	// Steal-retry tail (HistStealRetries): CAS contention per steal
+	// attempt that saw work.
+	StealRetryP95  float64 `json:"steal_retry_p95,omitempty"`
+	StealRetryMax  int64   `json:"steal_retry_max,omitempty"`
+	TTProbes       int64   `json:"tt_probes"`
+	TTHits         int64   `json:"tt_hits"`
+	TTHitRate      float64 `json:"tt_hit_rate"` // TTHits/TTProbes; 0 when no probes
+	TTStores       int64   `json:"tt_stores"`
+	TTEvictions    int64   `json:"tt_evictions"`
+	DequeHighWater int64   `json:"deque_high_water"`
 	// LoadSkew is max-over-workers tasks divided by the mean; 1.0 is a
 	// perfectly even split, 0 when no tasks ran.
 	LoadSkew       float64 `json:"load_skew"`
@@ -301,6 +400,21 @@ func (s Snapshot) Report() Report {
 	}
 	if t.AbortDrains > 0 {
 		rep.AbortDrainMeanUs = float64(t.AbortDrainNs) / float64(t.AbortDrains) / 1e3
+	}
+	if drain := s.Hist[HistAbortDrainNs]; drain.Count > 0 {
+		rep.AbortDrainP50Us = drain.P50() / 1e3
+		rep.AbortDrainP95Us = drain.P95() / 1e3
+		rep.AbortDrainP99Us = drain.P99() / 1e3
+		rep.AbortDrainMaxUs = float64(drain.Max) / 1e3
+	}
+	if run := s.Hist[HistTaskRunNs]; run.Count > 0 {
+		rep.TaskRunP50Us = run.P50() / 1e3
+		rep.TaskRunP95Us = run.P95() / 1e3
+		rep.TaskRunP99Us = run.P99() / 1e3
+	}
+	if sr := s.Hist[HistStealRetries]; sr.Count > 0 {
+		rep.StealRetryP95 = sr.P95()
+		rep.StealRetryMax = sr.Max
 	}
 	if t.TTProbes > 0 {
 		rep.TTHitRate = float64(t.TTHits) / float64(t.TTProbes)
