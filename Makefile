@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-smoke stat vet lint
+.PHONY: all build test race chaos bench bench-engine bench-smoke stat vet lint
 
 all: build test
 
@@ -16,6 +16,15 @@ test:
 # concurrently with live searches and must stay race-clean.
 race:
 	$(GO) test -race -short ./...
+
+# Fault-injection regression suite under the race detector: the chaos
+# matrix (drop/dup/reorder/delay/crash/stall × seeds) on the Section 7
+# machine, the injector's determinism and seed-replay tests, and the
+# pooled engine's panic-isolation traps. -short trims the seed matrix to
+# fit a CI budget; the full matrix runs in `test`.
+chaos:
+	$(GO) test -race -short -count=1 -run 'Chaos|Protocol|Perfect|Injector|Seed|Lane|Validate|ParseSpec|Panic' \
+		./internal/faultnet/ ./internal/msgpass/ ./internal/engine/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

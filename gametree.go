@@ -39,6 +39,7 @@ import (
 	"gametree/internal/core"
 	"gametree/internal/engine"
 	"gametree/internal/expand"
+	"gametree/internal/faultnet"
 	"gametree/internal/msgpass"
 	"gametree/internal/randomized"
 	"gametree/internal/sched"
@@ -231,6 +232,46 @@ type MsgPassOptions = msgpass.Options
 // MsgPassMetrics reports a message-passing run.
 type MsgPassMetrics = msgpass.Metrics
 
+// FaultNetwork is the pluggable transport the message-passing machine
+// routes all traffic through. Plug a NewFaultInjector into
+// MsgPassOptions.Net to subject a run to drops, duplication, reordering,
+// delay, processor stalls and crashes; nil means the in-process perfect
+// path with zero protocol overhead.
+type FaultNetwork = faultnet.Network
+
+// FaultConfig parameterises a deterministic fault injector.
+type FaultConfig = faultnet.Config
+
+// FaultStats counts what a fault network did to the traffic.
+type FaultStats = faultnet.Stats
+
+// ProcCrash schedules a permanent processor failure.
+type ProcCrash = faultnet.ProcCrash
+
+// ProcStall schedules a temporary processor freeze.
+type ProcStall = faultnet.ProcStall
+
+// MsgProtocolConfig tunes the ack/retransmit + heartbeat reliability
+// protocol the msgpass machine runs when a FaultNetwork is attached.
+type MsgProtocolConfig = msgpass.ProtocolConfig
+
+// MsgProtocolStats reports the reliability protocol's work: retransmits,
+// heartbeats, declared deaths, reassigned levels, suppressed duplicates.
+type MsgProtocolStats = msgpass.ProtocolStats
+
+// NewPerfectNetwork returns a lossless, ordered, synchronous transport —
+// the explicit form of the default in-process delivery.
+func NewPerfectNetwork() FaultNetwork { return faultnet.NewPerfect() }
+
+// NewFaultInjector returns a deterministic seeded fault network: the fate
+// of the k'th packet on each (from,to) link depends only on the seed and
+// the link, never on goroutine scheduling.
+func NewFaultInjector(cfg FaultConfig) FaultNetwork { return faultnet.NewInjector(cfg) }
+
+// ParseFaultSpec parses a compact fault specification such as
+// "drop=0.1,dup=0.02,crash=3@50ms,seed=7" into a FaultConfig.
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faultnet.ParseSpec(spec) }
+
 // EvaluateMessagePassing runs the Section 7 implementation of N-Parallel
 // SOLVE of width 1 on a binary NOR tree, with one goroutine processor per
 // level (or per zone when Options.Processors is set).
@@ -267,6 +308,15 @@ type MoveAppender = engine.MoveAppender
 
 // SearchResult reports an engine search.
 type SearchResult = engine.Result
+
+// ErrSearchCancelled is returned by the engine searches when their
+// context is cancelled mid-search.
+var ErrSearchCancelled = engine.ErrCancelled
+
+// ErrSearchPanic is returned (wrapped, carrying the recovered value) when
+// a Position implementation panics inside a pooled search: the panic is
+// confined to the worker that hit it instead of crashing the process.
+var ErrSearchPanic = engine.ErrSearchPanic
 
 // Search evaluates pos to the given depth sequentially.
 func Search(pos Position, depth int) SearchResult { return engine.Search(pos, depth) }
@@ -432,9 +482,10 @@ func TraceParallelAlphaBeta(t *Tree, w int, opt Options) ([]StepTrace, Metrics, 
 }
 
 // SearchPVS evaluates pos with principal variation search (NegaScout, the
-// modern form of SCOUT); same value as Search.
-func SearchPVS(pos Position, depth int, opt EngineOptions) SearchResult {
-	return engine.SearchPVS(pos, depth, opt)
+// modern form of SCOUT); same value as Search. Cancelling ctx returns
+// ErrSearchCancelled within the engine's node-poll budget.
+func SearchPVS(ctx context.Context, pos Position, depth int, opt EngineOptions) (SearchResult, error) {
+	return engine.SearchPVS(ctx, pos, depth, opt)
 }
 
 // MTDF evaluates pos with Plaat's MTD(f) — zero-window searches driven by

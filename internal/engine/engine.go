@@ -59,6 +59,12 @@ type Result struct {
 // ErrCancelled is returned when the context is cancelled mid-search.
 var ErrCancelled = errors.New("engine: search cancelled")
 
+// ErrSearchPanic is returned (wrapped, with the recovered value) when a
+// Position implementation panics inside a pooled search. The panic is
+// confined to the worker that hit it: the pool aborts, every join drains,
+// and the helper goroutines exit cleanly instead of crashing the process.
+var ErrSearchPanic = errors.New("engine: panic during search")
+
 const (
 	winScore  = int32(1 << 24) // larger than any heuristic score
 	scoreInf  = int64(math.MaxInt32)

@@ -22,6 +22,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -222,8 +223,33 @@ type worker struct {
 type pool struct {
 	workers []*worker
 	rec     *telemetry.Recorder // nil when the search is uninstrumented
-	stop    atomic.Bool         // context cancelled
+	stop    atomic.Bool         // context cancelled or a worker panicked
 	done    atomic.Bool         // search complete; idle workers exit
+
+	failMu  sync.Mutex
+	failure error // first recovered panic, wrapped in ErrSearchPanic
+}
+
+// fail records the first worker panic and aborts the search. Setting the
+// stop flag pre-empts every queued task (runTask's skip path completes
+// them with ok=false), so open joins drain and finish returns normally;
+// the panic surfaces as an error from the search entry point instead of
+// killing the worker goroutine — and with it the process.
+func (p *pool) fail(v any) {
+	p.failMu.Lock()
+	if p.failure == nil {
+		p.failure = fmt.Errorf("%w: %v", ErrSearchPanic, v)
+	}
+	p.failMu.Unlock()
+	p.stop.Store(true)
+}
+
+// err returns the first recorded worker panic, if any. Call after finish:
+// the pool has quiesced, so no later fail can race the read.
+func (p *pool) err() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failure
 }
 
 // newPool builds the pool with the caller as worker 0. start launches the
@@ -371,8 +397,23 @@ func (w *worker) runTask(t *task) {
 	}
 	prev := w.sp
 	w.sp = sp
+	// Position implementations are user code and may panic mid-search.
+	// Confine the blast radius to this task: record the panic on the pool
+	// (aborting the search) and complete the sibling with ok=false so the
+	// owner's join still drains. Without this a panic on a helper worker
+	// would crash the whole process.
+	defer func() {
+		w.sp = prev
+		if r := recover(); r != nil {
+			w.pool.fail(r)
+			if w.tm != nil {
+				w.tm.Aborts.Add(1)
+				w.recordAbortEvent(t)
+			}
+			sp.complete(t.idx, 0, false)
+		}
+	}()
 	v, _ := w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
-	w.sp = prev
 	ok := !w.pool.stop.Load() && !sp.aborted()
 	if w.tm != nil {
 		w.tm.Hist[telemetry.HistTaskRunNs].Observe(w.pool.rec.Now() - startNs)
@@ -556,8 +597,25 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 // plainly sequential).
 func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table, rec *telemetry.Recorder) (Result, error) {
 	p, finish := newPool(ctx, workers, table, rec)
-	v, best := p.workers[0].search(pos, depth, -scoreInf, scoreInf, nil, true)
+	var v int64
+	var best int
+	// Worker 0's spine runs on the caller's stack, outside runTask's
+	// recover, so a phase-1 panic unwinds to here. Splits are opened and
+	// joined within a single search frame, so at any point of the phase-1
+	// descent no ancestor frame holds an undrained split — failing the
+	// pool and finishing is a clean teardown.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.fail(r)
+			}
+		}()
+		v, best = p.workers[0].search(pos, depth, -scoreInf, scoreInf, nil, true)
+	}()
 	nodes := finish()
+	if err := p.err(); err != nil {
+		return Result{}, err
+	}
 	if ctx.Err() != nil {
 		return Result{}, ErrCancelled
 	}
@@ -575,12 +633,24 @@ func searchRootSplitPooled(ctx context.Context, pos Position, depth, workers int
 	}
 	p, finish := newPool(ctx, workers, nil, nil)
 	w0 := p.workers[0]
-	w0.nodes++ // the root itself
-	sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)
-	w0.join(sp)
-	best, bestIdx := sp.best, sp.bestIdx
-	w0.releaseSplit(sp)
+	var best int64
+	var bestIdx int
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.fail(r)
+			}
+		}()
+		w0.nodes++ // the root itself
+		sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)
+		w0.join(sp)
+		best, bestIdx = sp.best, sp.bestIdx
+		w0.releaseSplit(sp)
+	}()
 	nodes := finish()
+	if err := p.err(); err != nil {
+		return Result{}, err
+	}
 	if ctx.Err() != nil {
 		return Result{}, ErrCancelled
 	}

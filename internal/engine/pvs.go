@@ -11,12 +11,17 @@ import "context"
 
 // SearchPVS evaluates pos to the given depth with principal variation
 // search. It returns the same value as Search. An optional transposition
-// table (opt.Table) accelerates both tests and re-searches.
-func SearchPVS(pos Position, depth int, opt SearchOptions) Result {
+// table (opt.Table) accelerates both tests and re-searches. Cancelling
+// ctx unwinds the search within checkMask nodes and returns ErrCancelled;
+// the table keeps only entries stored before the interrupt.
+func SearchPVS(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance()
-	e := &searcher{ctx: context.Background(), table: opt.Table}
+	e := &searcher{ctx: ctx, table: opt.Table}
 	v, best := e.pvs(pos, depth, -scoreInf, scoreInf)
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}, nil
 }
 
 func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) {

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestPVSMatchesNegamax(t *testing.T) {
@@ -11,7 +13,10 @@ func TestPVSMatchesNegamax(t *testing.T) {
 		depth := 1 + rng.Intn(6)
 		pos := buildRandomPos(rng, depth, 4)
 		plain := Search(pos, depth)
-		pvs := SearchPVS(pos, depth, SearchOptions{})
+		pvs, err := SearchPVS(context.Background(), pos, depth, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if pvs.Value != plain.Value {
 			t.Fatalf("trial %d: PVS %d != negamax %d", trial, pvs.Value, plain.Value)
 		}
@@ -25,7 +30,10 @@ func TestPVSWithTableMatchesOnTreeGames(t *testing.T) {
 		depth := 3 + rng.Intn(3)
 		pos := buildHashed(rng, depth, 3, &next)
 		plain := Search(pos, depth)
-		pvs := SearchPVS(pos, depth, SearchOptions{Table: NewTable(1 << 12)})
+		pvs, err := SearchPVS(context.Background(), pos, depth, SearchOptions{Table: NewTable(1 << 12)})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if pvs.Value != plain.Value {
 			t.Fatalf("trial %d: PVS+TT %d != negamax %d", trial, pvs.Value, plain.Value)
 		}
@@ -41,7 +49,11 @@ func TestPVSNodeEconomy(t *testing.T) {
 		depth := 5
 		pos := buildRandomPos(rng, depth, 4)
 		plainTotal += Search(pos, depth).Nodes
-		pvsTotal += SearchPVS(pos, depth, SearchOptions{}).Nodes
+		pvs, err := SearchPVS(context.Background(), pos, depth, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvsTotal += pvs.Nodes
 	}
 	if pvsTotal > 2*plainTotal {
 		t.Errorf("PVS visited %d nodes vs plain %d (blow-up)", pvsTotal, plainTotal)
@@ -50,11 +62,37 @@ func TestPVSNodeEconomy(t *testing.T) {
 
 func TestPVSTerminalAndHorizon(t *testing.T) {
 	leaf := &treePos{val: -4}
-	if r := SearchPVS(leaf, 3, SearchOptions{}); r.Value != -4 || r.Best != -1 {
-		t.Errorf("terminal: %+v", r)
+	if r, err := SearchPVS(context.Background(), leaf, 3, SearchOptions{}); err != nil || r.Value != -4 || r.Best != -1 {
+		t.Errorf("terminal: %+v (err %v)", r, err)
 	}
 	deep := buildRandomPos(rand.New(rand.NewSource(4)), 3, 3)
-	if r := SearchPVS(deep, 0, SearchOptions{}); r.Value != deep.val {
-		t.Errorf("horizon: %+v", r)
+	if r, err := SearchPVS(context.Background(), deep, 0, SearchOptions{}); err != nil || r.Value != deep.val {
+		t.Errorf("horizon: %+v (err %v)", r, err)
+	}
+}
+
+// TestPVSCancellation pins that SearchPVS honours its context — the bug
+// this guards against was a hardcoded context.Background() that made PVS
+// the only search in the package immune to cancellation.
+func TestPVSCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pos := buildRandomPos(rand.New(rand.NewSource(9)), 10, 3)
+	r, err := SearchPVS(ctx, pos, 10, SearchOptions{})
+	if err != ErrCancelled {
+		t.Fatalf("pre-cancelled ctx: want ErrCancelled, got %v (result %+v)", err, r)
+	}
+
+	// A timeout mid-search must unwind within the checkMask poll budget,
+	// not run the full tree.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	big := buildRandomPos(rand.New(rand.NewSource(10)), 14, 4)
+	start := time.Now()
+	if _, err := SearchPVS(ctx2, big, 14, SearchOptions{}); err != ErrCancelled {
+		t.Fatalf("timeout: want ErrCancelled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, poll budget ignored", elapsed)
 	}
 }

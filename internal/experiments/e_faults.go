@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gametree/internal/faultnet"
+	"gametree/internal/msgpass"
+	"gametree/internal/stats"
+	"gametree/internal/tree"
+)
+
+// faultProtocol is the fast-reaction protocol tuning used by the sweep:
+// the defaults are sized for human-scale runs, these for experiment-scale
+// ones, so crash recovery fits inside the measured window.
+func faultProtocol() msgpass.ProtocolConfig {
+	return msgpass.ProtocolConfig{
+		HeartbeatEvery:  time.Millisecond,
+		DeadAfter:       12 * time.Millisecond,
+		RetransmitAfter: time.Millisecond,
+		RetransmitMax:   8 * time.Millisecond,
+	}
+}
+
+// E14Faults — Section 7 under faults: the reliability protocol (ack/
+// retransmit, heartbeat crash detection, level reassignment) restores the
+// exact root value under message loss, duplication and processor crashes,
+// and the pre-emption rule's indifference to stale values makes duplicate
+// and reordered delivery semantically free — only loss costs anything,
+// and what it costs is retransmits, not correctness.
+func E14Faults(cfg Config) []*stats.Table {
+	var tables []*stats.Table
+	n := cfg.pick(12, 10)
+	spin := cfg.pick(5000, 1500)
+	trc := tree.WorstCaseNOR(2, n, 1)
+	want := trc.Evaluate()
+
+	run := func(net faultnet.Network) (msgpass.Metrics, time.Duration) {
+		start := time.Now()
+		m, err := msgpass.Evaluate(trc, msgpass.Options{
+			Processors:       4,
+			WorkPerExpansion: spin,
+			Net:              net,
+			Protocol:         faultProtocol(),
+		})
+		el := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("E14 msgpass run failed: %v", err))
+		}
+		return m, el
+	}
+
+	// Baseline: the perfect in-process path (Net nil, zero protocol).
+	startClean := time.Now()
+	clean, err := msgpass.Evaluate(trc, msgpass.Options{Processors: 4, WorkPerExpansion: spin})
+	cleanTime := time.Since(startClean)
+	if err != nil || clean.Value != want {
+		panic(fmt.Sprintf("E14 baseline failed: %v %+v", err, clean))
+	}
+
+	tb := stats.NewTable("E14a retransmit overhead vs drop rate, worst-case B(2,"+fmt.Sprint(n)+"), 4 procs",
+		"drop", "value ok", "wire sent", "dropped", "retransmits", "elapsed", "vs clean")
+	tb.AddRow("none (Net=nil)", clean.Value == want, "-", "-", "-",
+		cleanTime.Round(time.Microsecond).String(), 1.0)
+	for _, drop := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		m, el := run(faultnet.NewInjector(faultnet.Config{Seed: cfg.seed(), Drop: drop}))
+		tb.AddRow(fmt.Sprintf("%.0f%%", drop*100), m.Value == want,
+			m.Net.Sent, m.Net.Dropped, m.Protocol.Retransmits,
+			el.Round(time.Microsecond).String(), float64(el)/float64(cleanTime))
+	}
+	tb.AddNote("every row returns the exact root value; loss costs retransmit latency (bounded by the backoff cap), never correctness")
+	tables = append(tables, tb)
+
+	// The "stale/dup delivery is free" claim: node values are deterministic,
+	// so the pre-emption rule's staleness filtering already tolerates any
+	// re-delivered val — dedup exists for protocol hygiene, not safety.
+	tb2 := stats.NewTable("E14b duplication and reordering are free (pre-emption rule claim)",
+		"fault", "value ok", "duplicated/delayed", "dup-dropped", "retransmits", "vs clean")
+	dup, dupEl := run(faultnet.NewInjector(faultnet.Config{Seed: cfg.seed(), Dup: 0.3}))
+	tb2.AddRow("dup=30%", dup.Value == want, dup.Net.Duplicated, dup.Protocol.DupDropped,
+		dup.Protocol.Retransmits, float64(dupEl)/float64(cleanTime))
+	reo, reoEl := run(faultnet.NewInjector(faultnet.Config{
+		Seed: cfg.seed(), Reorder: 0.3, DelayMax: time.Millisecond,
+	}))
+	tb2.AddRow("reorder=30%", reo.Value == want, reo.Net.Delayed+reo.Net.Reordered,
+		reo.Protocol.DupDropped, reo.Protocol.Retransmits, float64(reoEl)/float64(cleanTime))
+	tb2.AddNote("duplicates are absorbed by seq dedup and reordering by the pre-emption rule; neither changes the value,")
+	tb2.AddNote("confirming empirically that the Section 7 staleness discipline subsumes both faults (a delayed ack can")
+	tb2.AddNote("still trip the retransmit timer — those retransmits are spurious and land in the dup-dropped column)")
+	tables = append(tables, tb2)
+
+	// Crash recovery: kill one processor mid-run; a survivor adopts its
+	// levels and re-derives the lost invocations from surviving parents.
+	tb3 := stats.NewTable("E14c crash recovery, one processor killed mid-run",
+		"crash", "value ok", "deaths", "levels adopted", "memo replies", "elapsed", "vs clean")
+	crash, crashEl := run(faultnet.NewInjector(faultnet.Config{
+		Seed:    cfg.seed(),
+		Drop:    0.02,
+		Crashes: []faultnet.ProcCrash{{Proc: 1, At: 2 * time.Millisecond}},
+	}))
+	tb3.AddRow("proc 1 @2ms", crash.Value == want, crash.Protocol.Deaths,
+		crash.Protocol.LevelsReassigned, crash.Protocol.MemoReplies,
+		crashEl.Round(time.Microsecond).String(), float64(crashEl)/float64(cleanTime))
+	tb3.AddNote("recovery latency is bounded by DeadAfter (the heartbeat silence threshold) plus one retransmit round;")
+	tb3.AddNote("a run that finishes before the crash fires reports deaths=0 — the value is exact either way")
+	tables = append(tables, tb3)
+	return tables
+}

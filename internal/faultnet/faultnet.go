@@ -1,0 +1,112 @@
+// Package faultnet is the pluggable message network under the Section 7
+// message-passing machine. The paper's model assumes a perfect unit-time
+// network; the machine's robustness claim — superseded invocations are
+// simply dropped — is only *exercised* when the network misbehaves. This
+// package provides the two ends of that spectrum behind one interface:
+//
+//   - Perfect: synchronous, lossless, in-order delivery (the behaviour the
+//     in-process channel realization always had).
+//   - Injector: a deterministic, seeded fault injector with per-link drop
+//     probability, bounded random delay, duplication, reordering (as
+//     overtaking jitter), and a schedule of processor crash and stall
+//     events.
+//
+// Determinism discipline: every fault decision for the k'th packet on a
+// link (from→to) is drawn from a PRNG stream keyed only by (seed, from,
+// to) and the link-local index k. Goroutine interleaving can change which
+// *message* is the k'th on a link, but never what happens to it, and the
+// injector's event log — the per-link decision stream — is reproducible
+// byte-for-byte for a fixed send sequence (see WriteLog).
+//
+// The consumer (internal/msgpass) treats a nil Network as "perfect and
+// inlined": the fast path is one nil check, the same pattern the
+// telemetry layer uses, so fault injection costs nothing when disabled.
+package faultnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Packet is one datagram: an opaque payload routed from one processor to
+// another. Processor ids are small non-negative integers; id -1 is the
+// run coordinator/monitor, which never crashes or stalls.
+type Packet struct {
+	From, To int
+	Payload  any
+}
+
+// Network routes packets between processors. Implementations must make
+// Send non-blocking and safe from any goroutine; delivery happens on an
+// unspecified goroutine via the callback installed by Start.
+type Network interface {
+	// Start installs the delivery callback. It must be called exactly once
+	// before the first Send. The callback must not block.
+	Start(deliver func(Packet))
+	// Send routes pkt toward its destination. The network may drop, delay,
+	// duplicate or reorder it, and drops traffic from or to crashed
+	// processors.
+	Send(pkt Packet)
+	// Alive reports whether a processor is up (false once a scheduled
+	// crash event has fired). The coordinator (-1) is always alive.
+	Alive(proc int) bool
+	// StalledUntil reports whether the processor is currently frozen by a
+	// stall event and, if so, when the stall ends.
+	StalledUntil(proc int) (time.Time, bool)
+	// Close stops delivery; pending delayed packets are discarded.
+	Close()
+	// Stats returns the cumulative traffic counters.
+	Stats() Stats
+}
+
+// Stats counts what the network did to the traffic it carried.
+type Stats struct {
+	Sent         int64 `json:"sent"`          // Send calls accepted
+	Delivered    int64 `json:"delivered"`     // packets handed to the delivery callback
+	Dropped      int64 `json:"dropped"`       // lost to the per-link drop probability
+	Duplicated   int64 `json:"duplicated"`    // extra copies created
+	Delayed      int64 `json:"delayed"`       // packets held back before delivery
+	Reordered    int64 `json:"reordered"`     // packets given overtaking jitter
+	CrashDropped int64 `json:"crash_dropped"` // lost because an endpoint had crashed
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d duplicated=%d delayed=%d reordered=%d crash_dropped=%d",
+		s.Sent, s.Delivered, s.Dropped, s.Duplicated, s.Delayed, s.Reordered, s.CrashDropped)
+}
+
+// Perfect is the lossless network: Send delivers synchronously on the
+// sender's goroutine, in order, and no processor ever fails. It exists so
+// the reliability protocol can be run — and its overhead measured —
+// without any injected faults.
+type Perfect struct {
+	deliver   func(Packet)
+	closed    atomic.Bool
+	sent      atomic.Int64
+	delivered atomic.Int64
+}
+
+// NewPerfect returns a perfect network.
+func NewPerfect() *Perfect { return &Perfect{} }
+
+func (p *Perfect) Start(deliver func(Packet)) { p.deliver = deliver }
+
+func (p *Perfect) Send(pkt Packet) {
+	if p.closed.Load() {
+		return
+	}
+	p.sent.Add(1)
+	p.delivered.Add(1)
+	p.deliver(pkt)
+}
+
+func (p *Perfect) Alive(int) bool { return true }
+
+func (p *Perfect) StalledUntil(int) (time.Time, bool) { return time.Time{}, false }
+
+func (p *Perfect) Close() { p.closed.Store(true) }
+
+func (p *Perfect) Stats() Stats {
+	return Stats{Sent: p.sent.Load(), Delivered: p.delivered.Load()}
+}

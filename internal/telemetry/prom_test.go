@@ -57,6 +57,15 @@ gametree_msgs_recv_total 0
 # HELP gametree_msgs_stale_total Message-passing messages dropped as stale.
 # TYPE gametree_msgs_stale_total counter
 gametree_msgs_stale_total 0
+# HELP gametree_retransmits_total Messages retransmitted after an ack timeout.
+# TYPE gametree_retransmits_total counter
+gametree_retransmits_total 0
+# HELP gametree_heartbeats_total Heartbeats emitted by the reliability protocol.
+# TYPE gametree_heartbeats_total counter
+gametree_heartbeats_total 0
+# HELP gametree_reassigns_total Levels reassigned away from dead processors.
+# TYPE gametree_reassigns_total counter
+gametree_reassigns_total 0
 # HELP gametree_workers Worker shards registered with the recorder.
 # TYPE gametree_workers gauge
 gametree_workers 2
@@ -116,6 +125,16 @@ gametree_tt_probe_depth_count 40
 gametree_msg_residence_ns_bucket{le="+Inf"} 0
 gametree_msg_residence_ns_sum 0
 gametree_msg_residence_ns_count 0
+# HELP gametree_retransmit_delay_ns Age of an unacknowledged message at each retransmission, nanoseconds.
+# TYPE gametree_retransmit_delay_ns histogram
+gametree_retransmit_delay_ns_bucket{le="+Inf"} 0
+gametree_retransmit_delay_ns_sum 0
+gametree_retransmit_delay_ns_count 0
+# HELP gametree_recovery_ns Heartbeat silence observed when a processor was declared dead, nanoseconds.
+# TYPE gametree_recovery_ns histogram
+gametree_recovery_ns_bucket{le="+Inf"} 0
+gametree_recovery_ns_sum 0
+gametree_recovery_ns_count 0
 `
 
 // buildPromFixture populates a recorder with a small deterministic state
@@ -216,8 +235,8 @@ func TestPromParses(t *testing.T) {
 			lastBucket = value
 		}
 	}
-	if histFamilies < 6 {
-		t.Fatalf("exposition has %d histogram families, want at least 6", histFamilies)
+	if histFamilies < 8 {
+		t.Fatalf("exposition has %d histogram families, want at least 8", histFamilies)
 	}
 }
 

@@ -46,12 +46,14 @@ import (
 // merges them. The Prometheus exposition (WriteProm) publishes every
 // family; Report extracts the headline quantiles.
 const (
-	HistAbortDrainNs   = iota // cutoff→drain latency of aborted joins, ns
-	HistTaskRunNs             // wall time of one speculative task, ns
-	HistStealRetries          // CAS retries per steal attempt that saw work
-	HistDequeDepth            // deque depth observed at each split's push
-	HistTTProbeDepth          // remaining search depth at each TT probe
-	HistMsgResidenceNs        // msgpass mailbox residence (send→drain), ns
+	HistAbortDrainNs      = iota // cutoff→drain latency of aborted joins, ns
+	HistTaskRunNs                // wall time of one speculative task, ns
+	HistStealRetries             // CAS retries per steal attempt that saw work
+	HistDequeDepth               // deque depth observed at each split's push
+	HistTTProbeDepth             // remaining search depth at each TT probe
+	HistMsgResidenceNs           // msgpass mailbox residence (send→drain), ns
+	HistRetransmitDelayNs        // age of an unacked message at each retransmit, ns
+	HistRecoveryNs               // heartbeat silence until a crash was declared, ns
 	NumHists
 )
 
@@ -71,6 +73,10 @@ func HistName(i int) string {
 		return "tt_probe_depth"
 	case HistMsgResidenceNs:
 		return "msg_residence_ns"
+	case HistRetransmitDelayNs:
+		return "retransmit_delay_ns"
+	case HistRecoveryNs:
+		return "recovery_ns"
 	}
 	return ""
 }
@@ -90,6 +96,10 @@ func HistHelp(i int) string {
 		return "Remaining search depth at each transposition-table probe."
 	case HistMsgResidenceNs:
 		return "Message-passing mailbox residence from send to drain, nanoseconds."
+	case HistRetransmitDelayNs:
+		return "Age of an unacknowledged message at each retransmission, nanoseconds."
+	case HistRecoveryNs:
+		return "Heartbeat silence observed when a processor was declared dead, nanoseconds."
 	}
 	return ""
 }
@@ -117,6 +127,10 @@ func HistHelp(i int) string {
 //	MsgsSent/MsgsRecv/MsgsStale
 //	               message-passing processors: messages sent, received,
 //	               and invocations/values dropped as stale
+//	Retransmits/Heartbeats/Reassigns
+//	               reliability protocol (faultnet runs): messages
+//	               retransmitted after ack timeout, heartbeats emitted,
+//	               and levels reassigned away from dead processors
 type Shard struct {
 	Tasks         atomic.Int64
 	StealAttempts atomic.Int64
@@ -134,6 +148,9 @@ type Shard struct {
 	MsgsSent      atomic.Int64
 	MsgsRecv      atomic.Int64
 	MsgsStale     atomic.Int64
+	Retransmits   atomic.Int64
+	Heartbeats    atomic.Int64
+	Reassigns     atomic.Int64
 
 	// Hist keeps the distributions behind the counters above (see the
 	// Hist* index constants). Same discipline: single writer, atomic only
@@ -170,6 +187,9 @@ type Counts struct {
 	MsgsSent      int64
 	MsgsRecv      int64
 	MsgsStale     int64
+	Retransmits   int64
+	Heartbeats    int64
+	Reassigns     int64
 }
 
 // load copies a shard's counters.
@@ -191,6 +211,9 @@ func (s *Shard) load() Counts {
 		MsgsSent:      s.MsgsSent.Load(),
 		MsgsRecv:      s.MsgsRecv.Load(),
 		MsgsStale:     s.MsgsStale.Load(),
+		Retransmits:   s.Retransmits.Load(),
+		Heartbeats:    s.Heartbeats.Load(),
+		Reassigns:     s.Reassigns.Load(),
 	}
 }
 
@@ -214,6 +237,9 @@ func (c *Counts) add(o Counts) {
 	c.MsgsSent += o.MsgsSent
 	c.MsgsRecv += o.MsgsRecv
 	c.MsgsStale += o.MsgsStale
+	c.Retransmits += o.Retransmits
+	c.Heartbeats += o.Heartbeats
+	c.Reassigns += o.Reassigns
 }
 
 // Snapshot is a point-in-time view of a Recorder: the per-shard counters,
@@ -375,6 +401,17 @@ type Report struct {
 	MsgsSent       int64   `json:"msgs_sent,omitempty"`
 	MsgsRecv       int64   `json:"msgs_recv,omitempty"`
 	MsgsStale      int64   `json:"msgs_stale,omitempty"`
+	// Reliability-protocol traffic (faultnet runs only; zero and omitted
+	// on the perfect inlined path).
+	Retransmits int64 `json:"retransmits,omitempty"`
+	Heartbeats  int64 `json:"heartbeats,omitempty"`
+	Reassigns   int64 `json:"reassigns,omitempty"`
+	// Retransmit-delay and crash-recovery latency quantiles
+	// (HistRetransmitDelayNs / HistRecoveryNs).
+	RetransmitDelayP50Us float64 `json:"retransmit_delay_p50_us,omitempty"`
+	RetransmitDelayP99Us float64 `json:"retransmit_delay_p99_us,omitempty"`
+	RecoveryP50Us        float64 `json:"recovery_p50_us,omitempty"`
+	RecoveryMaxUs        float64 `json:"recovery_max_us,omitempty"`
 }
 
 // Report derives the condensed metrics from a snapshot.
@@ -434,5 +471,16 @@ func (s Snapshot) Report() Report {
 	rep.MsgsSent = t.MsgsSent
 	rep.MsgsRecv = t.MsgsRecv
 	rep.MsgsStale = t.MsgsStale
+	rep.Retransmits = t.Retransmits
+	rep.Heartbeats = t.Heartbeats
+	rep.Reassigns = t.Reassigns
+	if rt := s.Hist[HistRetransmitDelayNs]; rt.Count > 0 {
+		rep.RetransmitDelayP50Us = rt.P50() / 1e3
+		rep.RetransmitDelayP99Us = rt.P99() / 1e3
+	}
+	if rc := s.Hist[HistRecoveryNs]; rc.Count > 0 {
+		rep.RecoveryP50Us = rc.P50() / 1e3
+		rep.RecoveryMaxUs = float64(rc.Max) / 1e3
+	}
 	return rep
 }
