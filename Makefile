@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-engine bench-smoke stat vet lint
+.PHONY: all build test race chaos bench bench-engine bench-smoke serve-smoke load stat vet lint
 
 all: build test
 
@@ -49,6 +49,18 @@ bench-smoke:
 	$(GO) run ./cmd/gtbench -enginebench /tmp/bench-smoke.json -enginereps 2 -promout /tmp/bench-smoke.prom
 	$(GO) run ./cmd/gtbench -checkbench /tmp/bench-smoke.json
 	$(GO) run ./cmd/gtstat -threshold 0.15 /tmp/bench-smoke.json
+
+# Serving-layer smoke (CI gate): boot a race-built gtserve on an
+# ephemeral port, drive it with gtload, and assert exact search values,
+# /metrics exposure, overload shedding (429/503) and a clean SIGTERM
+# drain. Artifacts (logs, metrics scrape) in serve-smoke-artifacts/.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Regenerate BENCH_serve.json: the per-request baseline and the resident
+# service measured on the identical workload, gated by gtstat on QPS.
+load:
+	./scripts/load_compare.sh BENCH_serve.json
 
 # Diff the committed trajectory: latest run vs all earlier runs, failing
 # on a >15% nodes/sec regression in any aligned configuration.

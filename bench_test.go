@@ -362,7 +362,10 @@ func BenchmarkEngineTT(b *testing.B) {
 	b.Run("table", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tab := gametree.NewTranspositionTable(1 << 16)
-			r := gametree.SearchTT(pos, depth, gametree.EngineOptions{Table: tab})
+			r, err := gametree.SearchTT(context.Background(), pos, depth, gametree.EngineOptions{Table: tab})
+			if err != nil {
+				b.Fatal(err)
+			}
 			sink.Add(r.Nodes)
 		}
 	})
@@ -372,7 +375,10 @@ func BenchmarkDomineering(b *testing.B) {
 	pos := gametree.NewDomineering(4, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := gametree.SearchTT(pos, 9, gametree.EngineOptions{Table: gametree.NewTranspositionTable(1 << 14)})
+		r, err := gametree.SearchTT(context.Background(), pos, 9, gametree.EngineOptions{Table: gametree.NewTranspositionTable(1 << 14)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		sink.Add(r.Nodes)
 	}
 }

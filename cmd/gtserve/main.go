@@ -1,0 +1,136 @@
+// Command gtserve runs the resident search service: a fixed set of warm
+// engine pools over one shared transposition table behind an HTTP JSON
+// API, with admission control, request coalescing and a result cache
+// (package serve has the full semantics).
+//
+// Usage:
+//
+//	gtserve -addr :8080
+//	gtserve -addr 127.0.0.1:0 -portfile /tmp/gtserve.port
+//	                # bind an ephemeral port and publish the bound
+//	                # address for a harness to read (CI smoke test)
+//	gtserve -pools 2 -workers 4 -queue 64 -cache 4096
+//
+// Endpoints:
+//
+//	POST /v1/search   {"game","position","depth","deadline_ms"}
+//	GET  /healthz     200 serving | 503 draining
+//	GET  /metrics     Prometheus text exposition (engine + serve)
+//
+// On SIGINT/SIGTERM the server drains: new requests are shed with 503,
+// in-flight requests finish (or are cancelled when -drain-grace runs
+// out, still receiving a 5xx response), then the process exits — 0 for a
+// clean drain, 1 for a forced one.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"gametree/internal/serve"
+	"gametree/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 = ephemeral)")
+		portFile    = flag.String("portfile", "", "write the bound address to this file once listening")
+		workers     = flag.Int("workers", 0, "workers per engine pool (0 = GOMAXPROCS)")
+		pools       = flag.Int("pools", 2, "resident engine pools (max concurrent searches)")
+		queue       = flag.Int("queue", 64, "admission queue depth before 429 (-1 = no queue)")
+		tableSize   = flag.Int("table", 1<<20, "shared transposition table entries")
+		cacheSize   = flag.Int("cache", 4096, "result cache entries (-1 = disable)")
+		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		maxDeadline = flag.Duration("maxdeadline", 30*time.Second, "cap on client-requested deadlines")
+		maxDepth    = flag.Int("maxdepth", 16, "maximum request depth")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	queueDepth := *queue
+	if queueDepth < 0 {
+		queueDepth = -1 // Config: negative = no queue
+	}
+	cacheEntries := *cacheSize
+	if cacheEntries < 0 {
+		cacheEntries = -1 // Config: negative = disabled
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		Pools:           *pools,
+		QueueDepth:      queueDepth,
+		TableEntries:    *tableSize,
+		CacheEntries:    cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxDepth:        *maxDepth,
+		Telemetry:       telemetry.NewRecorder(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtserve:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gtserve: portfile:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gtserve: listening on %s (pools=%d workers=%d queue=%d)\n",
+		bound, *pools, *workers, queueDepth)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "gtserve:", err)
+		os.Exit(1)
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "gtserve: draining (grace %s)\n", *drainGrace)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+
+	// The handlers have all answered; close the listener and idle conns.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		hs.Close()
+	}
+
+	stats := srv.Stats()
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stderr, "gtserve: %-18s %d\n", k, stats[k])
+	}
+
+	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gtserve: forced drain:", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "gtserve: clean drain")
+}

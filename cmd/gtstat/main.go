@@ -1,5 +1,7 @@
 // Command gtstat is the bench-regression differ for the
-// BENCH_engine.json trajectory (internal/benchfmt).
+// BENCH_engine.json and BENCH_serve.json trajectories (internal/benchfmt).
+// Engine rows gate on nodes/sec (or ns/op, allocs/op); serving rows from
+// gtload gate on qps or p99_ns via -metric.
 //
 // It loads one or more documents, aligns benchmark rows across runs by
 // (workload, configuration, workers), and compares the candidate run —
@@ -39,7 +41,7 @@ import (
 func main() {
 	var (
 		threshold = flag.Float64("threshold", 0.15, "fail on throughput regressions beyond this fraction (0.15 = 15%)")
-		metric    = flag.String("metric", "nodes_per_sec", "benchmark column to compare: nodes_per_sec | ns_per_op | allocs_per_op")
+		metric    = flag.String("metric", "nodes_per_sec", "benchmark column to compare: nodes_per_sec | ns_per_op | allocs_per_op | qps | p99_ns")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -70,6 +72,10 @@ func metricOf(it benchfmt.Item, metric string) (float64, error) {
 		return -it.NsPerOp, nil
 	case "allocs_per_op":
 		return -it.AllocsPerOp, nil
+	case "qps":
+		return it.QPS, nil
+	case "p99_ns":
+		return -it.P99Ns, nil
 	}
 	return 0, fmt.Errorf("unknown metric %q", metric)
 }

@@ -66,3 +66,15 @@ type Kayles = games.Kayles
 
 // NewKayles returns a Kayles position with the given row lengths.
 func NewKayles(rows ...int) Kayles { return games.NewKayles(rows...) }
+
+// RandomGameTree is a lazy deterministic synthetic game tree: node
+// identities and leaf values are pure functions of a 64-bit seed, so a
+// position is fully described by (seed, branch) — the serving-layer
+// benchmark workload. It implements Position, Hasher and MoveAppender.
+type RandomGameTree = games.RandomTree
+
+// NewRandomGameTree returns the root of the synthetic tree for seed with
+// the given branching factor (clamped to [2, 16]).
+func NewRandomGameTree(seed uint64, branch int) RandomGameTree {
+	return games.NewRandomTree(seed, branch)
+}

@@ -426,9 +426,23 @@ type EngineOptions = engine.SearchOptions
 // of entries (rounded up to a power of two).
 func NewTranspositionTable(entries int) *TranspositionTable { return engine.NewTable(entries) }
 
-// SearchTT is Search with a transposition table.
-func SearchTT(pos Position, depth int, opt EngineOptions) SearchResult {
-	return engine.SearchTT(pos, depth, opt)
+// SearchTT is Search with a transposition table. Cancelling ctx aborts
+// the search with ErrSearchCancelled and a zero Result.
+func SearchTT(ctx context.Context, pos Position, depth int, opt EngineOptions) (SearchResult, error) {
+	return engine.SearchTT(ctx, pos, depth, opt)
+}
+
+// EnginePool is a resident work-stealing search pool: the worker set of
+// SearchParallelTT kept alive across searches, so a long-lived caller
+// (such as the gtserve service) pays pool construction once instead of
+// per request. One pool runs one search at a time; several pools may
+// share one TranspositionTable.
+type EnginePool = engine.Pool
+
+// NewEnginePool builds a resident pool of workers (0 = GOMAXPROCS) over
+// table (nil disables the transposition table).
+func NewEnginePool(workers int, table *TranspositionTable, rec *TelemetryRecorder) *EnginePool {
+	return engine.NewPool(workers, table, rec)
 }
 
 // SearchIterative performs iterative deepening with a transposition table

@@ -247,9 +247,9 @@ func TestPublicNewSurface(t *testing.T) {
 	tab := gametree.NewTranspositionTable(1 << 14)
 	pos := gametree.NewDomineering(4, 3)
 	plain := gametree.Search(pos, 7)
-	tt := gametree.SearchTT(pos, 7, gametree.EngineOptions{Table: tab})
-	if tt.Value != plain.Value {
-		t.Errorf("SearchTT %d != %d", tt.Value, plain.Value)
+	tt, err := gametree.SearchTT(context.Background(), pos, 7, gametree.EngineOptions{Table: tab})
+	if err != nil || tt.Value != plain.Value {
+		t.Errorf("SearchTT %d != %d (err %v)", tt.Value, plain.Value, err)
 	}
 	it, pv, err := gametree.SearchIterative(context.Background(), pos, 7, gametree.EngineOptions{})
 	if err != nil || it.Value != plain.Value || len(pv) == 0 {

@@ -52,6 +52,14 @@ type Item struct {
 	// (zero for the baselines themselves).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 	SpeedupVsSpawn      float64 `json:"speedup_vs_spawn,omitempty"`
+	// Serving-layer measurements (gtload / BENCH_serve.json rows only):
+	// completed-request throughput, latency quantiles over completed
+	// requests, and the fraction of requests that did not complete with
+	// 2xx (shed, timed out or failed).
+	QPS     float64 `json:"qps,omitempty"`
+	P50Ns   float64 `json:"p50_ns,omitempty"`
+	P99Ns   float64 `json:"p99_ns,omitempty"`
+	ErrRate float64 `json:"err_rate,omitempty"`
 }
 
 // Key identifies the configuration a row measures, for aligning rows
@@ -69,10 +77,14 @@ type TelemetryEntry struct {
 	Report   telemetry.Report `json:"report"`
 }
 
-// Run is one point of the trajectory.
+// Run is one point of the trajectory. Label distinguishes runs of the
+// same document measuring different setups (gtload stamps "baseline" vs
+// "serve"); rows still align across runs by Item.Key alone, which is
+// what lets gtstat gate one setup against the other.
 type Run struct {
 	Generated  string           `json:"generated"` // UTC RFC3339
 	Commit     string           `json:"commit"`
+	Label      string           `json:"label,omitempty"`
 	GoVersion  string           `json:"go_version"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Benchmarks []Item           `json:"benchmarks"`

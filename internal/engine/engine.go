@@ -99,6 +99,7 @@ type searcher struct {
 	sp    *splitPoint      // pooled: abort chain of the current task
 	tm    *telemetry.Shard // optional telemetry shard (this worker's, single-writer)
 	nodes int64
+	halt  bool         // latched by interrupted(): unwind every node, not 1-in-256
 	free  [][]Position // recycled move buffers (MoveAppender positions)
 }
 
@@ -107,9 +108,19 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // interrupted reports whether this searcher should unwind: the pool's
 // cancellation flag (one uncontended atomic load), an aborted enclosing
 // split, or — for non-pooled searches — the context. It is polled every
-// checkMask nodes instead of a per-node ctx.Done() select.
+// checkMask nodes; global triggers (stop flag, context) latch e.halt so
+// that once tripped, EVERY subsequent node entry returns immediately.
+// Without the latch a poll only prunes the single node it fires on and
+// the siblings keep expanding — on a deep lazily-generated tree the
+// unwind would take longer than the search it is cancelling. Split
+// aborts are deliberately not latched: they end one speculative subtree,
+// not the whole search.
 func (e *searcher) interrupted() bool {
+	if e.halt {
+		return true
+	}
 	if e.stop != nil && e.stop.Load() {
+		e.halt = true
 		return true
 	}
 	if e.sp != nil && e.sp.aborted() {
@@ -118,6 +129,7 @@ func (e *searcher) interrupted() bool {
 	if e.ctx != nil {
 		select {
 		case <-e.ctx.Done():
+			e.halt = true
 			return true
 		default:
 		}
@@ -157,7 +169,7 @@ func (e *searcher) putMoves(moves []Position, scratch bool) {
 // tried first.
 func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest bool) (int64, int) {
 	e.nodes++
-	if e.nodes&checkMask == 0 && e.interrupted() {
+	if (e.halt || e.nodes&checkMask == 0) && e.interrupted() {
 		return alpha, -1
 	}
 	if depth == 0 {

@@ -24,15 +24,20 @@ type SearchOptions struct {
 
 // SearchTT is Search with a transposition table: results of previous
 // (possibly shallower) searches seed move ordering and produce immediate
-// cutoffs at sufficient depth.
-func SearchTT(pos Position, depth int, opt SearchOptions) Result {
+// cutoffs at sufficient depth. The search polls ctx every checkMask nodes
+// and returns ErrCancelled once it is done; the partial Result is
+// discarded (zero value), matching SearchPVS and the pooled searches.
+func SearchTT(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance()
-	e := &searcher{ctx: context.Background(), table: opt.Table, tm: opt.Telemetry.Shard(0)}
+	e := &searcher{ctx: ctx, table: opt.Table, tm: opt.Telemetry.Shard(0)}
 	v, best := e.negamax(pos, depth, -scoreInf, scoreInf, true)
 	if e.tm != nil {
 		e.tm.Nodes.Add(e.nodes)
 	}
-	return Result{Value: int32(v), Best: best, Nodes: e.nodes}
+	if ctx.Err() != nil {
+		return Result{}, ErrCancelled
+	}
+	return Result{Value: int32(v), Best: best, Nodes: e.nodes}, nil
 }
 
 // SearchIterative performs iterative deepening to maxDepth with a
@@ -72,6 +77,12 @@ func SearchParallelTT(ctx context.Context, pos Position, depth int, opt SearchOp
 // SearchParallelOpt is SearchParallel with the full option set: an
 // optional transposition table and an optional telemetry recorder. It is
 // the instrumented entry point used by gtbench and gtplay.
+//
+// Deadline contract: a search cut short by ctx never returns a partial
+// Result as if complete — the Result is the zero value and the error is
+// ErrCancelled, wrapping context.DeadlineExceeded when the ctx deadline
+// (rather than an explicit cancel) ended the search, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes timeouts.
 func SearchParallelOpt(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance() // nil-safe
 	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry)

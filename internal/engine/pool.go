@@ -5,7 +5,9 @@ package engine
 // modeled: a fresh goroutine, channel and searcher struct per speculative
 // sibling at every interior node, plus one contended atomic node counter
 // bumped on every visit. Here a fixed set of worker goroutines is created
-// once per search; speculative siblings become tasks pushed onto the
+// once per pool — resident across searches for long-lived owners (the
+// exported Pool, held by the gtserve service), once per call for the
+// one-shot entry points; speculative siblings become tasks pushed onto the
 // owning worker's lock-free Chase-Lev deque, idle workers steal from the
 // top, and the splitting worker joins by helping (popping its own deque,
 // then stealing) until a per-split join counter drains. Beta-cutoff
@@ -22,6 +24,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -218,13 +221,22 @@ type worker struct {
 	rng    uint64
 }
 
-// pool is the per-search worker set. The goroutine calling the search
-// becomes worker 0; workers 1..n-1 run idleLoop until the search ends.
+// pool is a resident worker set. The goroutine calling runSearch becomes
+// worker 0 for that search; workers 1..n-1 run idleLoop for the pool's
+// whole lifetime, parking on a condition variable between searches so an
+// idle resident pool costs nothing. One-shot callers (searchPooled) build
+// a pool, run one search and close it — the construction cost they pay is
+// exactly what the exported Pool amortizes across requests.
 type pool struct {
 	workers []*worker
 	rec     *telemetry.Recorder // nil when the search is uninstrumented
-	stop    atomic.Bool         // context cancelled or a worker panicked
-	done    atomic.Bool         // search complete; idle workers exit
+	stop    atomic.Bool         // current search cancelled or a worker panicked
+	active  atomic.Bool         // a search is in flight; helpers spin, not park
+	closed  atomic.Bool         // pool shut down; helpers exit
+
+	parkMu   sync.Mutex // guards the active/closed transitions helpers wait on
+	parkCond *sync.Cond
+	wg       sync.WaitGroup // helper goroutines
 
 	failMu  sync.Mutex
 	failure error // first recovered panic, wrapped in ErrSearchPanic
@@ -252,29 +264,61 @@ func (p *pool) err() error {
 	return p.failure
 }
 
-// newPool builds the pool with the caller as worker 0. start launches the
-// helper goroutines and the context watcher; the returned finish must be
-// called exactly once after the root search returns. It tears the pool
-// down and returns the total node count.
-func newPool(ctx context.Context, workers int, table *Table, rec *telemetry.Recorder) (*pool, func() int64) {
+// newPool builds a resident pool with the caller of runSearch as worker 0
+// and launches the helper goroutines, which immediately park. shardBase
+// offsets the telemetry shard indices so several pools can share one
+// recorder without overlapping single-writer shards (the serve layer runs
+// pool k on shards [k*workers, (k+1)*workers)).
+func newPool(workers int, table *Table, rec *telemetry.Recorder, shardBase int) *pool {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
 	p := &pool{workers: make([]*worker, workers), rec: rec}
+	p.parkCond = sync.NewCond(&p.parkMu)
 	for i := range p.workers {
-		w := &worker{pool: p, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w := &worker{pool: p, id: i, rng: uint64(shardBase+i)*0x9e3779b97f4a7c15 + 1}
 		w.table = table
 		w.stop = &p.stop
-		w.tm = rec.Shard(i) // nil when rec is nil
+		w.tm = rec.Shard(shardBase + i) // nil when rec is nil
 		w.dq.init()
 		p.workers[i] = w
 	}
-	var wg sync.WaitGroup
+	for _, w := range p.workers[1:] {
+		p.wg.Add(1)
+		go func(w *worker) {
+			defer p.wg.Done()
+			p.idleLoop(w)
+		}(w)
+	}
+	return p
+}
+
+// runSearch executes one search on the resident pool, with the calling
+// goroutine as worker 0 driving body (the phase-1 spine, or the root
+// split of the tree-splitting baseline). Calls must be serialized by the
+// owner — the exported Pool holds a mutex across it; the one-shot entry
+// points call it exactly once.
+//
+// Reading the per-worker node counters here without waiting for the
+// helpers is safe: body returns only after every split point it opened
+// has joined, so each helper's last counter write happens-before the
+// owner's pending.Load()==0 (both sequentially consistent atomics) and
+// the helpers are back to empty-handed spinning or parking.
+func (p *pool) runSearch(ctx context.Context, body func(w0 *worker) (int64, int)) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, cancelErr(err)
+	}
+	p.stop.Store(false)
+	p.failMu.Lock()
+	p.failure = nil
+	p.failMu.Unlock()
+
+	var watchWG sync.WaitGroup
 	watch := make(chan struct{})
 	if done := ctx.Done(); done != nil {
-		wg.Add(1)
+		watchWG.Add(1)
 		go func() {
-			defer wg.Done()
+			defer watchWG.Done()
 			select {
 			case <-done:
 				p.stop.Store(true)
@@ -282,35 +326,94 @@ func newPool(ctx context.Context, workers int, table *Table, rec *telemetry.Reco
 			}
 		}()
 	}
-	for _, w := range p.workers[1:] {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			p.idleLoop(w)
-		}(w)
+	if len(p.workers) > 1 {
+		p.parkMu.Lock()
+		p.active.Store(true)
+		p.parkMu.Unlock()
+		p.parkCond.Broadcast()
 	}
-	finish := func() int64 {
-		p.done.Store(true)
-		close(watch)
-		wg.Wait()
-		var nodes int64
-		for _, w := range p.workers {
-			nodes += w.nodes
-			if w.tm != nil {
-				w.tm.Nodes.Add(w.nodes) // fold in at the quiesce point
+
+	var v int64
+	var best int
+	// Worker 0's spine runs on the caller's stack, outside runTask's
+	// recover, so a phase-1 panic unwinds to here. Splits are opened and
+	// joined within a single search frame, so at any point of the phase-1
+	// descent no ancestor frame holds an undrained split — failing the
+	// pool and returning is a clean teardown.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.fail(r)
 			}
+		}()
+		v, best = body(p.workers[0])
+	}()
+
+	close(watch)
+	watchWG.Wait()
+	p.active.Store(false)
+	var nodes int64
+	for _, w := range p.workers {
+		nodes += w.nodes
+		if w.tm != nil {
+			w.tm.Nodes.Add(w.nodes) // fold in at the quiesce point
 		}
-		return nodes
+		w.nodes = 0    // the pool outlives the search; counters are per search
+		w.halt = false // likewise the cancellation latch
 	}
-	return p, finish
+	if err := p.err(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, cancelErr(err)
+	}
+	return Result{Value: int32(v), Best: best, Nodes: nodes}, nil
 }
 
-// idleLoop is the life of workers 1..n-1: steal, run, back off when the
-// pool is quiet. The backoff caps at a 1ms sleep, so idle workers cost
-// almost nothing while task discovery latency stays bounded.
+// cancelErr maps a non-nil ctx.Err() to the search error contract: plain
+// cancellation keeps the bare ErrCancelled sentinel (existing callers
+// compare with ==), while a deadline expiry additionally carries
+// context.DeadlineExceeded in the wrap chain so callers can tell a
+// timed-out search — whose partial Result must not be trusted — from an
+// explicit cancel. errors.Is(err, ErrCancelled) matches both.
+func cancelErr(ctxErr error) error {
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCancelled, context.DeadlineExceeded)
+	}
+	return ErrCancelled
+}
+
+// close shuts the resident pool down: helpers are woken if parked and
+// exit their loops. Must not be called concurrently with runSearch.
+func (p *pool) close() {
+	p.parkMu.Lock()
+	p.closed.Store(true)
+	p.parkMu.Unlock()
+	p.parkCond.Broadcast()
+	p.wg.Wait()
+}
+
+// idleLoop is the life of workers 1..n-1: while a search is active, steal,
+// run, back off (capped at a 1ms sleep, so task discovery latency stays
+// bounded); between searches, park on the condition variable so a
+// resident pool costs nothing while idle. The active flag is re-checked
+// under parkMu, and runSearch raises it under the same lock before
+// broadcasting, so a wakeup cannot be lost.
 func (p *pool) idleLoop(w *worker) {
 	backoff := 0
-	for !p.done.Load() {
+	for {
+		if p.closed.Load() {
+			return
+		}
+		if !p.active.Load() {
+			p.parkMu.Lock()
+			for !p.active.Load() && !p.closed.Load() {
+				p.parkCond.Wait()
+			}
+			p.parkMu.Unlock()
+			backoff = 0
+			continue
+		}
 		t := w.dq.pop()
 		if t == nil {
 			t = p.trySteal(w)
@@ -592,34 +695,16 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 	return best, bestIdx
 }
 
-// searchPooled runs the cascade on a fresh pool, with the calling
-// goroutine as worker 0 (zero handoff cost: with one worker the search is
-// plainly sequential).
+// searchPooled runs the cascade on a fresh one-shot pool, with the
+// calling goroutine as worker 0 (zero handoff cost: with one worker the
+// search is plainly sequential). Long-lived callers should hold a Pool
+// instead and amortize the construction.
 func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table, rec *telemetry.Recorder) (Result, error) {
-	p, finish := newPool(ctx, workers, table, rec)
-	var v int64
-	var best int
-	// Worker 0's spine runs on the caller's stack, outside runTask's
-	// recover, so a phase-1 panic unwinds to here. Splits are opened and
-	// joined within a single search frame, so at any point of the phase-1
-	// descent no ancestor frame holds an undrained split — failing the
-	// pool and finishing is a clean teardown.
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				p.fail(r)
-			}
-		}()
-		v, best = p.workers[0].search(pos, depth, -scoreInf, scoreInf, nil, true)
-	}()
-	nodes := finish()
-	if err := p.err(); err != nil {
-		return Result{}, err
-	}
-	if ctx.Err() != nil {
-		return Result{}, ErrCancelled
-	}
-	return Result{Value: int32(v), Best: best, Nodes: nodes}, nil
+	p := newPool(workers, table, rec, 0)
+	defer p.close()
+	return p.runSearch(ctx, func(w0 *worker) (int64, int) {
+		return w0.search(pos, depth, -scoreInf, scoreInf, nil, true)
+	})
 }
 
 // searchRootSplitPooled is the classical tree-splitting baseline on the
@@ -631,28 +716,14 @@ func searchRootSplitPooled(ctx context.Context, pos Position, depth, workers int
 	if depth == 0 || len(moves) == 0 {
 		return Result{Value: pos.Evaluate(), Best: -1, Nodes: 1}, nil
 	}
-	p, finish := newPool(ctx, workers, nil, nil)
-	w0 := p.workers[0]
-	var best int64
-	var bestIdx int
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				p.fail(r)
-			}
-		}()
+	p := newPool(workers, nil, nil, 0)
+	defer p.close()
+	return p.runSearch(ctx, func(w0 *worker) (int64, int) {
 		w0.nodes++ // the root itself
 		sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)
 		w0.join(sp)
-		best, bestIdx = sp.best, sp.bestIdx
+		best, bestIdx := sp.best, sp.bestIdx
 		w0.releaseSplit(sp)
-	}()
-	nodes := finish()
-	if err := p.err(); err != nil {
-		return Result{}, err
-	}
-	if ctx.Err() != nil {
-		return Result{}, ErrCancelled
-	}
-	return Result{Value: int32(best), Best: bestIdx, Nodes: nodes}, nil
+		return best, bestIdx
+	})
 }

@@ -26,7 +26,7 @@ func SearchPVS(ctx context.Context, pos Position, depth int, opt SearchOptions) 
 
 func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) {
 	e.nodes++
-	if e.nodes&checkMask == 0 && e.interrupted() {
+	if (e.halt || e.nodes&checkMask == 0) && e.interrupted() {
 		return alpha, -1
 	}
 	if depth == 0 {

@@ -1,0 +1,80 @@
+package engine
+
+// Resident search pool: the work-stealing worker set of searchPooled kept
+// alive across searches. A one-shot SearchParallelTT pays pool
+// construction — worker structs, deque rings, helper goroutine spawns —
+// on every call; a service handling sustained traffic pays it once per
+// Pool and runs each request as a park/wake cycle on warm workers. The
+// transposition table is shared by reference, so several Pools over one
+// Table give concurrent searches that cross-seed each other's move
+// ordering (the serve layer's core configuration).
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gametree/internal/telemetry"
+)
+
+// ErrPoolClosed is returned by Pool.Search after Close.
+var ErrPoolClosed = errors.New("engine: search pool closed")
+
+// Pool is a resident work-stealing search pool. A Pool runs one search
+// at a time — Search serializes callers — so concurrency across requests
+// comes from several Pools sharing one Table, not from one Pool.
+type Pool struct {
+	mu     sync.Mutex
+	p      *pool
+	table  *Table
+	closed bool
+}
+
+// NewPool builds a resident pool of workers (0 = GOMAXPROCS) over table
+// (nil disables the transposition table) with telemetry shards 0..w-1 of
+// rec (nil keeps the pool uninstrumented).
+func NewPool(workers int, table *Table, rec *telemetry.Recorder) *Pool {
+	return NewPoolShards(workers, table, rec, 0)
+}
+
+// NewPoolShards is NewPool with an explicit telemetry shard base: pool k
+// of a set sharing one Recorder should pass base k*workers so every
+// worker keeps a private single-writer shard.
+func NewPoolShards(workers int, table *Table, rec *telemetry.Recorder, shardBase int) *Pool {
+	return &Pool{p: newPool(workers, table, rec, shardBase), table: table}
+}
+
+// Workers reports the pool's worker count (after the 0 = GOMAXPROCS
+// default is applied).
+func (rp *Pool) Workers() int { return len(rp.p.workers) }
+
+// Search runs one search on the resident workers, with the calling
+// goroutine as worker 0. The table generation is advanced per search,
+// mirroring SearchParallelTT. Cancellation follows the pooled contract:
+// ErrCancelled on ctx cancel, additionally wrapping
+// context.DeadlineExceeded when the deadline expired — in both cases the
+// Result is the zero value, never a partial search passed off as
+// complete.
+func (rp *Pool) Search(ctx context.Context, pos Position, depth int) (Result, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.closed {
+		return Result{}, ErrPoolClosed
+	}
+	rp.table.Advance() // nil-safe
+	return rp.p.runSearch(ctx, func(w0 *worker) (int64, int) {
+		return w0.search(pos, depth, -scoreInf, scoreInf, nil, true)
+	})
+}
+
+// Close shuts the helper goroutines down. Idempotent; Search returns
+// ErrPoolClosed afterwards.
+func (rp *Pool) Close() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.closed {
+		return
+	}
+	rp.closed = true
+	rp.p.close()
+}

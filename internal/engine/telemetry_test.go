@@ -148,7 +148,9 @@ func TestTelemetryTTCounters(t *testing.T) {
 
 	// The sequential table search shares the same counters.
 	rec2 := telemetry.NewRecorder()
-	SearchTT(pos, 5, SearchOptions{Table: NewTable(1 << 8), Telemetry: rec2})
+	if _, err := SearchTT(context.Background(), pos, 5, SearchOptions{Table: NewTable(1 << 8), Telemetry: rec2}); err != nil {
+		t.Fatal(err)
+	}
 	if c2 := rec2.Snapshot().Total; c2.TTProbes == 0 || c2.Nodes == 0 {
 		t.Fatalf("sequential TT search recorded nothing: %+v", c2)
 	}

@@ -62,13 +62,13 @@ func TestSearchTTDepthUnlimited(t *testing.T) {
 		pos := buildHashed(rng, 3+rng.Intn(3), 3, &next)
 		plain := Search(pos, -1)
 		tab := NewTable(1 << 12)
-		tt := SearchTT(pos, -1, SearchOptions{Table: tab})
-		if plain.Value != tt.Value {
-			t.Fatalf("trial %d: plain %d != tt %d", trial, plain.Value, tt.Value)
+		tt, err := SearchTT(context.Background(), pos, -1, SearchOptions{Table: tab})
+		if err != nil || plain.Value != tt.Value {
+			t.Fatalf("trial %d: plain %d != tt %d (err %v)", trial, plain.Value, tt.Value, err)
 		}
 		// A second pass over the warm table must agree as well.
-		if again := SearchTT(pos, -1, SearchOptions{Table: tab}); again.Value != plain.Value {
-			t.Fatalf("trial %d: warm tt %d != plain %d", trial, again.Value, plain.Value)
+		if again, err := SearchTT(context.Background(), pos, -1, SearchOptions{Table: tab}); err != nil || again.Value != plain.Value {
+			t.Fatalf("trial %d: warm tt %d != plain %d (err %v)", trial, again.Value, plain.Value, err)
 		}
 	}
 }
@@ -210,9 +210,9 @@ func TestSearchTTMatchesPlain(t *testing.T) {
 		depth := 2 + rng.Intn(4)
 		pos := buildHashed(rng, depth, 4, &next)
 		plain := Search(pos, depth)
-		tt := SearchTT(pos, depth, SearchOptions{Table: NewTable(1 << 12)})
-		if plain.Value != tt.Value {
-			t.Fatalf("trial %d: plain %d != tt %d", trial, plain.Value, tt.Value)
+		tt, err := SearchTT(context.Background(), pos, depth, SearchOptions{Table: NewTable(1 << 12)})
+		if err != nil || plain.Value != tt.Value {
+			t.Fatalf("trial %d: plain %d != tt %d (err %v)", trial, plain.Value, tt.Value, err)
 		}
 	}
 }

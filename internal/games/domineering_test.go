@@ -83,9 +83,9 @@ func TestDomineeringParallelAndTT(t *testing.T) {
 	if par.Value != seq.Value {
 		t.Errorf("parallel %d != sequential %d", par.Value, seq.Value)
 	}
-	tt := engine.SearchTT(p, depth, engine.SearchOptions{Table: engine.NewTable(1 << 16)})
-	if tt.Value != seq.Value {
-		t.Errorf("tt %d != sequential %d", tt.Value, seq.Value)
+	tt, err := engine.SearchTT(context.Background(), p, depth, engine.SearchOptions{Table: engine.NewTable(1 << 16)})
+	if err != nil || tt.Value != seq.Value {
+		t.Errorf("tt %d != sequential %d (err %v)", tt.Value, seq.Value, err)
 	}
 	if tt.Nodes >= seq.Nodes {
 		t.Errorf("domineering transposes, tt should help: %d vs %d nodes", tt.Nodes, seq.Nodes)

@@ -391,9 +391,9 @@ func TestTranspositionTableHelpsOnConnect4(t *testing.T) {
 	const depth = 7
 	plain := engine.Search(pos, depth)
 	tab := engine.NewTable(1 << 16)
-	first := engine.SearchTT(pos, depth, engine.SearchOptions{Table: tab})
-	if first.Value != plain.Value {
-		t.Fatalf("tt value %d != plain %d", first.Value, plain.Value)
+	first, err := engine.SearchTT(context.Background(), pos, depth, engine.SearchOptions{Table: tab})
+	if err != nil || first.Value != plain.Value {
+		t.Fatalf("tt value %d != plain %d (err %v)", first.Value, plain.Value, err)
 	}
 	// Connect-4 transposes heavily (move-order permutations), so even the
 	// first table-backed search must beat the plain one.
@@ -401,9 +401,9 @@ func TestTranspositionTableHelpsOnConnect4(t *testing.T) {
 		t.Errorf("tt search visited %d nodes, plain %d", first.Nodes, plain.Nodes)
 	}
 	// A repeated search on the warm table is nearly free.
-	second := engine.SearchTT(pos, depth, engine.SearchOptions{Table: tab})
-	if second.Value != plain.Value {
-		t.Fatalf("warm tt value %d", second.Value)
+	second, err := engine.SearchTT(context.Background(), pos, depth, engine.SearchOptions{Table: tab})
+	if err != nil || second.Value != plain.Value {
+		t.Fatalf("warm tt value %d (err %v)", second.Value, err)
 	}
 	if second.Nodes > first.Nodes/10 {
 		t.Errorf("warm table search visited %d nodes (cold %d)", second.Nodes, first.Nodes)

@@ -46,7 +46,10 @@ func TestKaylesEngineMatchesGrundyTheory(t *testing.T) {
 	for _, rows := range cases {
 		p := NewKayles(rows...)
 		depth := p.TotalPins() + 1
-		r := engine.SearchTT(p, depth, engine.SearchOptions{Table: tab})
+		r, err := engine.SearchTT(context.Background(), p, depth, engine.SearchOptions{Table: tab})
+		if err != nil {
+			t.Fatal(err)
+		}
 		engineWin := r.Value > 0
 		theoryWin := p.GrundyValue() != 0
 		if engineWin != theoryWin {

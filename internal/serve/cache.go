@@ -1,0 +1,127 @@
+package serve
+
+// Two layers of duplicate suppression sit in front of the engine pools:
+//
+//   - flightGroup coalesces identical *in-flight* searches: the first
+//     request for a key becomes the leader and runs the search, later
+//     arrivals block on its completion and share the Result. Coalesced
+//     joiners never enter the admission queue, so a duplicate-heavy burst
+//     costs one queue slot, not N.
+//   - resultCache is a bounded LRU of *completed* searches keyed by
+//     (position key, depth): repeats after completion are served without
+//     touching a pool at all. It memoizes exact root results — distinct
+//     from the shared transposition table, which memoizes interior bounds
+//     and survives eviction churn.
+
+import (
+	"container/list"
+	"sync"
+
+	"gametree/internal/engine"
+)
+
+// flightCall is one in-flight search: joiners block on done and read
+// res/err afterwards (the channel close is the happens-before edge).
+type flightCall struct {
+	done chan struct{}
+	res  engine.Result
+	err  error
+}
+
+// flightGroup indexes in-flight searches by full request key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// join returns the call for key, creating it when absent. leader reports
+// whether this caller created it — the leader must eventually settle the
+// call with finish.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c := g.calls[key]; c != nil {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish settles a call: the key is unregistered first, so requests
+// arriving after this point start a fresh flight (and will normally hit
+// the result cache instead), then the waiters are released.
+func (g *flightGroup) finish(key string, c *flightCall, res engine.Result, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+}
+
+// resultCache is a bounded LRU over completed search results. A zero or
+// negative capacity disables it (get always misses, put is a no-op).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res engine.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return &resultCache{}
+	}
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (engine.Result, bool) {
+	if c.cap == 0 {
+		return engine.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return engine.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res engine.Result) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count (for tests and /healthz).
+func (c *resultCache) len() int {
+	if c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

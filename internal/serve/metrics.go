@@ -1,0 +1,69 @@
+package serve
+
+// Serving-layer observability: request-path counters plus queue-wait and
+// end-to-end latency histograms, exposed as gametree_serve_* families on
+// the same /metrics endpoint as the engine telemetry (registered with
+// the Recorder via AddPromSection). Counters are plain atomics — the
+// request path is already orders of magnitude coarser-grained than the
+// search hot path, so per-goroutine sharding would buy nothing.
+
+import (
+	"io"
+	"sync/atomic"
+
+	"gametree/internal/metrics"
+	"gametree/internal/telemetry"
+)
+
+// serveStats is the counter block of one Server.
+type serveStats struct {
+	requests         atomic.Int64 // POST /v1/search received
+	admitted         atomic.Int64 // leader searches granted a pool
+	rejectedQueue    atomic.Int64 // 429: admission queue full
+	rejectedDraining atomic.Int64 // 503: draining or shut down
+	coalesced        atomic.Int64 // joined an identical in-flight search
+	cacheHits        atomic.Int64 // served from the LRU result cache
+	cacheMisses      atomic.Int64
+	deadlineExceeded atomic.Int64 // 504: request deadline expired
+	completed        atomic.Int64 // 200s (cached, coalesced or searched)
+	failed           atomic.Int64 // 500: search error
+	inflight         atomic.Int64 // requests between admission check and response
+
+	queueWaitNs metrics.Histogram // leader wait for a free pool
+	latencyNs   metrics.Histogram // full request latency, all outcomes
+}
+
+// writeProm writes the gametree_serve_* families. The fixed order keeps
+// the exposition deterministic (and therefore diffable in CI artifacts).
+func (s *serveStats) writeProm(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"gametree_serve_requests_total", "Search requests received.", &s.requests},
+		{"gametree_serve_admitted_total", "Leader searches granted an engine pool.", &s.admitted},
+		{"gametree_serve_rejected_queue_total", "Requests shed with 429: admission queue full.", &s.rejectedQueue},
+		{"gametree_serve_rejected_draining_total", "Requests shed with 503: server draining.", &s.rejectedDraining},
+		{"gametree_serve_coalesced_total", "Requests coalesced onto an identical in-flight search.", &s.coalesced},
+		{"gametree_serve_cache_hits_total", "Requests served from the result cache.", &s.cacheHits},
+		{"gametree_serve_cache_misses_total", "Requests that missed the result cache.", &s.cacheMisses},
+		{"gametree_serve_deadline_exceeded_total", "Requests that exceeded their deadline (504).", &s.deadlineExceeded},
+		{"gametree_serve_completed_total", "Requests answered 200.", &s.completed},
+		{"gametree_serve_failed_total", "Requests answered 500 (search error).", &s.failed},
+	}
+	for _, c := range counters {
+		if err := telemetry.PromCounter(w, c.name, c.help, c.v.Load()); err != nil {
+			return err
+		}
+	}
+	if err := telemetry.PromGauge(w, "gametree_serve_inflight",
+		"Requests currently between admission check and response.", s.inflight.Load()); err != nil {
+		return err
+	}
+	if err := telemetry.PromHistogram(w, "gametree_serve_queue_wait_ns",
+		"Leader wait for a free engine pool, nanoseconds.", s.queueWaitNs.Snapshot()); err != nil {
+		return err
+	}
+	return telemetry.PromHistogram(w, "gametree_serve_latency_ns",
+		"End-to-end request latency, nanoseconds.", s.latencyNs.Snapshot())
+}

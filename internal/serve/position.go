@@ -1,0 +1,109 @@
+package serve
+
+// Request positions arrive as (game, position) string pairs and must map
+// to an engine.Position plus a canonical cache key. The key doubles as
+// the singleflight identity, so two requests coalesce exactly when their
+// canonical keys (and depth) match.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gametree/internal/engine"
+	"gametree/internal/games"
+)
+
+// ParseFunc maps a position string to an engine Position and its
+// canonical form (the position part of the cache/coalescing key).
+type ParseFunc func(position string) (engine.Position, string, error)
+
+var (
+	parsersMu sync.RWMutex
+	parsers   = map[string]ParseFunc{
+		"ttt":      parseTTTPosition,
+		"connect4": parseConnect4Position,
+		"random":   parseRandomPosition,
+	}
+)
+
+// RegisterGame adds (or replaces) a game parser. Tests use it to inject
+// controllable positions; embedders can use it to serve their own games.
+func RegisterGame(name string, parse ParseFunc) {
+	parsersMu.Lock()
+	defer parsersMu.Unlock()
+	parsers[name] = parse
+}
+
+// ParsePosition resolves a request's (game, position) pair. The returned
+// key is "<game>|<canonical position>", unique across games.
+func ParsePosition(game, position string) (engine.Position, string, error) {
+	parsersMu.RLock()
+	parse := parsers[game]
+	parsersMu.RUnlock()
+	if parse == nil {
+		return nil, "", fmt.Errorf("unknown game %q (want ttt, connect4 or random)", game)
+	}
+	pos, canon, err := parse(position)
+	if err != nil {
+		return nil, "", fmt.Errorf("game %s: %w", game, err)
+	}
+	return pos, game + "|" + canon, nil
+}
+
+// parseTTTPosition accepts the 9-character board form of games.ParseTTT
+// ("XOX.O..X.", row-major); "" is the empty board. The canonical form is
+// the upper-cased board, so case variants coalesce.
+func parseTTTPosition(position string) (engine.Position, string, error) {
+	if position == "" {
+		position = "........."
+	}
+	canon := strings.ToUpper(position)
+	p, err := games.ParseTTT(canon)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, canon, nil
+}
+
+// parseConnect4Position accepts a sequence of 0-based column digits
+// played from the standard 7x6 board ("334" = center, center, col 4); ""
+// is the empty board. The move string itself is the canonical form:
+// transposed move orders reaching the same grid get distinct keys and
+// rely on the shared transposition table, not the result cache.
+func parseConnect4Position(position string) (engine.Position, string, error) {
+	p := games.StandardConnect4()
+	for i, r := range position {
+		if r < '0' || r > '9' {
+			return nil, "", fmt.Errorf("move %d: column %q is not a digit", i, string(r))
+		}
+		next := p.Drop(int(r - '0'))
+		if next == nil {
+			return nil, "", fmt.Errorf("move %d: column %c is full or out of range", i, r)
+		}
+		p = next
+	}
+	return p, position, nil
+}
+
+// parseRandomPosition accepts "seed" or "seed:branch" (decimal, branch
+// defaults to 5) naming a games.RandomTree root. The canonical form
+// re-renders both numbers, so leading zeros coalesce.
+func parseRandomPosition(position string) (engine.Position, string, error) {
+	seedStr, branchStr, hasBranch := strings.Cut(position, ":")
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return nil, "", fmt.Errorf("seed %q: %w", seedStr, err)
+	}
+	branch := 5
+	if hasBranch {
+		b, err := strconv.Atoi(branchStr)
+		if err != nil {
+			return nil, "", fmt.Errorf("branch %q: %w", branchStr, err)
+		}
+		branch = b
+	}
+	p := games.NewRandomTree(seed, branch)
+	return p, fmt.Sprintf("%d:%d", p.Seed, p.Branch), nil
+}

@@ -123,11 +123,70 @@ func promHistogram(w io.Writer, name string, s metrics.HistSnapshot) error {
 	return nil
 }
 
+// PromCounter writes one counter family: HELP/TYPE header plus a single
+// unlabelled sample. Exported for subsystems (the serve layer) that
+// append their own families to a Recorder exposition via AddPromSection.
+func PromCounter(w io.Writer, name, help string, v int64) error {
+	if err := promHeader(w, name, help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+	return err
+}
+
+// PromGauge writes one gauge family.
+func PromGauge(w io.Writer, name, help string, v int64) error {
+	if err := promHeader(w, name, help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+	return err
+}
+
+// PromHistogram writes one histogram family with the recorder's
+// cumulative log₂ bucket scheme.
+func PromHistogram(w io.Writer, name, help string, s metrics.HistSnapshot) error {
+	if err := promHeader(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	return promHistogram(w, name, s)
+}
+
+// AddPromSection registers an extra exposition section written after the
+// recorder's own families by (*Recorder).WriteProm — and therefore by
+// PromHandler — so a subsystem built on the recorder (the serve layer's
+// admission counters and latency histograms) shares the one /metrics
+// endpoint. Sections are written in registration order. Nil-safe: a nil
+// recorder drops the registration.
+func (r *Recorder) AddPromSection(f func(io.Writer) error) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.promSections = append(r.promSections, f)
+	r.mu.Unlock()
+}
+
 // WriteProm writes this recorder's current snapshot in the Prometheus
-// text exposition format. Nil-safe: a nil recorder writes the empty
-// snapshot (all families present, all zero).
+// text exposition format, followed by any registered extra sections.
+// Nil-safe: a nil recorder writes the empty snapshot (all families
+// present, all zero).
 func (r *Recorder) WriteProm(w io.Writer) error {
-	return WriteProm(w, r.Snapshot())
+	if err := WriteProm(w, r.Snapshot()); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sections := append([]func(io.Writer) error(nil), r.promSections...)
+	r.mu.Unlock()
+	for _, f := range sections {
+		if err := f(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PromHandler serves a live recorder as a Prometheus /metrics endpoint.

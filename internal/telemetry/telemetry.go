@@ -33,6 +33,7 @@
 package telemetry
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -271,6 +272,7 @@ type Recorder struct {
 	events        []Event
 	maxEvents     int
 	droppedEvents int64
+	promSections  []func(io.Writer) error // extra /metrics families (AddPromSection)
 }
 
 // NewRecorder returns an empty recorder with tracing and the event log

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# load_compare.sh — regenerate the BENCH_serve.json trajectory.
+#
+# Two runs of the identical deterministic workload (random game,
+# duplicate-heavy mix) land in one benchfmt document:
+#   run 1  label=baseline  gtload -baseline: one independent
+#                          SearchParallelTT per request over a shared
+#                          table — no pool residency, no coalescing, no
+#                          result cache;
+#   run 2  label=serve     the same stream against a resident gtserve.
+# Rows align by (workload, name, workers), so the closing gtstat call
+# gates the service against the baseline on sustained QPS: the resident
+# path must not be >15% slower, and on every host measured so far it is
+# a multiple faster (EXPERIMENTS.md E15 has the numbers).
+#
+# Usage: scripts/load_compare.sh [out.json]
+#   env: DURATION=5s WORKERS=8 POOLS=2 DEPTH=8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_serve.json}
+DUR=${DURATION:-5s}
+WORKERS=${WORKERS:-8}
+POOLS=${POOLS:-2}
+DEPTH=${DEPTH:-8}
+BIN=$(mktemp -d)
+SRV=""
+cleanup() {
+    [ -n "$SRV" ] && kill "$SRV" 2>/dev/null
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/gtserve" ./cmd/gtserve
+go build -o "$BIN/gtload" ./cmd/gtload
+rm -f "$OUT"
+
+echo "== run 1: per-request baseline (workers=$WORKERS) =="
+"$BIN/gtload" -baseline -game random -depth "$DEPTH" -dup 0.75 -hot 16 \
+    -clients 8 -duration "$DUR" -workers "$WORKERS" -label baseline -out "$OUT"
+
+echo "== run 2: resident service (pools=$POOLS x workers=$WORKERS) =="
+PORTFILE="$BIN/port"
+"$BIN/gtserve" -addr 127.0.0.1:0 -portfile "$PORTFILE" \
+    -pools "$POOLS" -workers "$WORKERS" 2>"$BIN/gtserve.log" &
+SRV=$!
+for _ in $(seq 1 100); do [ -s "$PORTFILE" ] && break; sleep 0.1; done
+[ -s "$PORTFILE" ] || { echo "load_compare: server never bound"; cat "$BIN/gtserve.log"; exit 1; }
+"$BIN/gtload" -url "http://$(tr -d '\n' <"$PORTFILE")" \
+    -game random -depth "$DEPTH" -dup 0.75 -hot 16 \
+    -clients 8 -duration "$DUR" -workers "$WORKERS" -label serve -out "$OUT"
+
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+SRV=""
+[ "$rc" -eq 0 ] || { echo "load_compare: drain exited $rc"; cat "$BIN/gtserve.log"; exit 1; }
+
+echo "== gate: serve vs baseline on sustained QPS =="
+go run ./cmd/gtstat -metric qps -threshold 0.15 "$OUT"
