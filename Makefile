@@ -12,8 +12,10 @@ test:
 
 # Race-detector pass over every package, with -short so the heavyweight
 # stress loops run their reduced forms (the full forms run in `test`).
-# This includes the telemetry snapshot-under-race tests: counters are read
-# concurrently with live searches and must stay race-clean.
+# This includes the telemetry snapshot-under-race tests (counters read
+# concurrently with live searches) and the recursive-split suite: the
+# YBWC nested-abort drain, where a grandparent beta cutoff pre-empts two
+# levels of split points, must stay race-clean.
 race:
 	$(GO) test -race -short ./...
 
@@ -23,7 +25,7 @@ race:
 # pooled engine's panic-isolation traps. -short trims the seed matrix to
 # fit a CI budget; the full matrix runs in `test`.
 chaos:
-	$(GO) test -race -short -count=1 -run 'Chaos|Protocol|Perfect|Injector|Seed|Lane|Validate|ParseSpec|Panic' \
+	$(GO) test -race -short -count=1 -run 'Chaos|Protocol|Perfect|Injector|Seed|Lane|Validate|ParseSpec|Panic|YBWC' \
 		./internal/faultnet/ ./internal/msgpass/ ./internal/engine/
 
 bench:
@@ -40,8 +42,12 @@ bench-engine:
 # -checkbench gate (schema, pooled >= sequential on the split-dense
 # workload, single-worker telemetry sanity) and diffed by gtstat (latest
 # run vs the first; both ran on this machine, so >15% is a real
-# regression, not host noise). The Prometheus exposition of the
-# instrumented pass lands in /tmp/bench-smoke.prom.
+# regression, not host noise). The final gtstat -ab line is the YBWC
+# gate: within the latest run, recursive splitting (pooled) must not be
+# more than 10% slower on wall clock than spine-only (pooled_spine) at
+# any worker width — same run, same runner, so host speed cancels out.
+# The Prometheus exposition of the instrumented pass lands in
+# /tmp/bench-smoke.prom.
 bench-smoke:
 	$(GO) test -bench='BenchmarkEnginePooled' -benchtime=1x -run='^$$' ./internal/engine/
 	rm -f /tmp/bench-smoke.json
@@ -49,6 +55,7 @@ bench-smoke:
 	$(GO) run ./cmd/gtbench -enginebench /tmp/bench-smoke.json -enginereps 2 -promout /tmp/bench-smoke.prom
 	$(GO) run ./cmd/gtbench -checkbench /tmp/bench-smoke.json
 	$(GO) run ./cmd/gtstat -threshold 0.15 /tmp/bench-smoke.json
+	$(GO) run ./cmd/gtstat -ab pooled:pooled_spine -metric ns_per_op -threshold 0.10 /tmp/bench-smoke.json
 
 # Serving-layer smoke (CI gate): boot a race-built gtserve on an
 # ephemeral port, drive it with gtload, and assert exact search values,

@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"gametree/internal/benchfmt"
@@ -38,7 +39,12 @@ import (
 )
 
 // measure times reps runs of search (after one untimed warm-up), with
-// allocation counts from runtime.ReadMemStats deltas.
+// allocation counts from runtime.ReadMemStats deltas. Ops here are
+// short (around a millisecond on the tree workload), so the mean over
+// reps is at the mercy of any scheduler hiccup landing in one rep;
+// NsPerOp and the derived NodesPerSec therefore report the *median* rep
+// — the gtstat gates compare medians, which stay put when one rep is
+// perturbed. Nodes and allocation columns stay means over all reps.
 func measure(workload, name string, workers, reps int, search func() (engine.Result, error)) (benchfmt.Item, error) {
 	if _, err := search(); err != nil {
 		return benchfmt.Item{}, fmt.Errorf("%s/%s: %w", workload, name, err)
@@ -46,27 +52,34 @@ func measure(workload, name string, workers, reps int, search func() (engine.Res
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
 	var nodes int64
 	var value int32
+	repNs := make([]float64, reps)
 	for i := 0; i < reps; i++ {
+		start := time.Now()
 		r, err := search()
+		repNs[i] = float64(time.Since(start).Nanoseconds())
 		if err != nil {
 			return benchfmt.Item{}, fmt.Errorf("%s/%s: %w", workload, name, err)
 		}
 		nodes += r.Nodes
 		value = r.Value
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	sort.Float64s(repNs)
+	medNs := repNs[reps/2]
+	if reps%2 == 0 {
+		medNs = (repNs[reps/2-1] + repNs[reps/2]) / 2
+	}
+	nodesPerOp := float64(nodes) / float64(reps)
 	return benchfmt.Item{
 		Workload:    workload,
 		Name:        name,
 		Workers:     workers,
 		Reps:        reps,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(reps),
-		NodesPerOp:  float64(nodes) / float64(reps),
-		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		NsPerOp:     medNs,
+		NodesPerOp:  nodesPerOp,
+		NodesPerSec: nodesPerOp / (medNs / 1e9),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reps),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
 		Value:       value,
@@ -97,8 +110,14 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 	}
 	items = append(items, spawn)
 
-	workers := []int{1, 2, 4}
-	if maxWorkers != 1 && maxWorkers != 2 && maxWorkers != 4 {
+	// The pooled sweep measures both splitting disciplines at every width:
+	// "pooled" is recursive YBWC (the engine default), "pooled_spine" the
+	// pre-YBWC spine-only splitter. The pairs share (workload, workers),
+	// which is what the gtstat -ab ybwc gate aligns on. 8 workers is in
+	// the sweep even on narrower hosts — oversubscription is part of what
+	// the YBWC-vs-spine comparison must survive.
+	workers := []int{1, 2, 4, 8}
+	if maxWorkers != 1 && maxWorkers != 2 && maxWorkers != 4 && maxWorkers != 8 {
 		workers = append(workers, maxWorkers)
 	}
 	for _, w := range workers {
@@ -109,7 +128,18 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 		if err != nil {
 			return nil, err
 		}
+		item.YBWC = "on"
 		items = append(items, item)
+
+		spine, err := measure(workload, "pooled_spine", w, reps, func() (engine.Result, error) {
+			return engine.SearchParallelOpt(ctx, pos, depth,
+				engine.SearchOptions{Workers: w, SpineOnly: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		spine.YBWC = "off"
+		items = append(items, spine)
 	}
 
 	for i := range items {
@@ -121,7 +151,7 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 		if it.Name != "sequential" {
 			it.SpeedupVsSequential = it.NodesPerSec / seq.NodesPerSec
 		}
-		if it.Name == "pooled" {
+		if it.Name == "pooled" || it.Name == "pooled_spine" {
 			it.SpeedupVsSpawn = it.NodesPerSec / spawn.NodesPerSec
 		}
 	}
@@ -138,29 +168,38 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 // for the /metrics endpoint and -promout. When tracePath is non-empty
 // the 4-way tree run's split-point spans are written there as Chrome
 // trace_event JSON (load via chrome://tracing or Perfetto).
-func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string) ([]benchfmt.TelemetryEntry, error) {
+func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string, deepProbe bool) ([]benchfmt.TelemetryEntry, error) {
 	ctx := context.Background()
 	maxWorkers := runtime.GOMAXPROCS(0)
 	var entries []benchfmt.TelemetryEntry
 
-	run := func(workload, name string, workers int, pos engine.Position, d int, table *engine.Table) error {
+	run := func(workload, name string, workers int, pos engine.Position, d int, table *engine.Table, spine bool) error {
 		rec.Reset()
 		if _, err := engine.SearchParallelOpt(ctx, pos, d,
-			engine.SearchOptions{Table: table, Workers: workers, Telemetry: rec}); err != nil {
+			engine.SearchOptions{Table: table, Workers: workers, Telemetry: rec, SpineOnly: spine}); err != nil {
 			return fmt.Errorf("telemetry %s/%s(workers=%d): %w", workload, name, workers, err)
 		}
+		ybwc := "on"
+		if spine {
+			ybwc = "off"
+		}
 		entries = append(entries, benchfmt.TelemetryEntry{
-			Workload: workload, Name: name, Workers: workers,
+			Workload: workload, Name: name, Workers: workers, YBWC: ybwc,
 			Report: rec.Snapshot().Report(),
 		})
 		return nil
 	}
 
-	// Split-dense synthetic tree: one single-worker run (steal counters
-	// must read zero there) and one at 4-way concurrency so steal and
-	// abort-drain figures are populated even on narrow hosts.
+	// Split-dense synthetic tree: single-worker runs under both splitting
+	// disciplines (steal counters must read zero there; the YBWC run also
+	// pins that nested cutoffs fire with no concurrency at all), then
+	// 4-way concurrency so steal and abort-drain figures are populated
+	// even on narrow hosts — again on vs off, the E12g comparison pair.
 	tree := engine.NewPessimalTree(8, 4, 0)
-	if err := run("tree", "pooled", 1, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+	if err := run("tree", "pooled", 1, (*engine.BenchTreeAppender)(tree), 8, nil, false); err != nil {
+		return nil, err
+	}
+	if err := run("tree", "pooled_spine", 1, (*engine.BenchTreeAppender)(tree), 8, nil, true); err != nil {
 		return nil, err
 	}
 	if tracePath != "" {
@@ -170,7 +209,7 @@ func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string) ([]b
 	if maxWorkers > concurrency {
 		concurrency = maxWorkers
 	}
-	if err := run("tree", "pooled", concurrency, (*engine.BenchTreeAppender)(tree), 8, nil); err != nil {
+	if err := run("tree", "pooled", concurrency, (*engine.BenchTreeAppender)(tree), 8, nil, false); err != nil {
 		return nil, err
 	}
 	if tracePath != "" {
@@ -186,12 +225,28 @@ func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string) ([]b
 			return nil, err
 		}
 	}
+	if err := run("tree", "pooled_spine", concurrency, (*engine.BenchTreeAppender)(tree), 8, nil, true); err != nil {
+		return nil, err
+	}
 
 	// Real game with a shared transposition table: TT probe/hit/eviction
 	// counters and the probe-depth histogram are the signal here.
 	if err := run("connect4", "pooled_tt", maxWorkers,
-		games.StandardConnect4(), depth, engine.NewTable(1<<18)); err != nil {
+		games.StandardConnect4(), depth, engine.NewTable(1<<18), false); err != nil {
 		return nil, err
+	}
+
+	// Deep probe: Connect-4 at depth 12, the E12f workload where the
+	// spine-only engine showed abort_drain_ns n=0 and a 3000x task-size
+	// skew — the recursive-YBWC entry must show drains firing. Opt-in
+	// (-deepprobe), not part of the CI smoke pass; the committed
+	// BENCH_engine.json carries it under its own name so the depth-12
+	// report is distinguishable from the depth-8 pooled_tt entry.
+	if deepProbe {
+		if err := run("connect4", "pooled_tt_deep", concurrency,
+			games.StandardConnect4(), 12, engine.NewTable(1<<20), false); err != nil {
+			return nil, err
+		}
 	}
 	return entries, nil
 }
@@ -201,7 +256,7 @@ func collectTelemetry(rec *telemetry.Recorder, depth int, tracePath string) ([]b
 // snapshot in place). The instrumented telemetry passes run on rec —
 // shared with the -pprof /metrics endpoint — and, when tracePath is
 // non-empty, also emit a Chrome trace_event file there.
-func runEngineBench(path string, depth, reps int, tracePath string, rec *telemetry.Recorder) error {
+func runEngineBench(path string, depth, reps int, tracePath string, rec *telemetry.Recorder, deepProbe bool) error {
 	tree := engine.NewPessimalTree(8, 4, 0)
 	items, err := benchWorkload("tree", tree, (*engine.BenchTreeAppender)(tree), 8, reps)
 	if err != nil {
@@ -230,9 +285,10 @@ func runEngineBench(path string, depth, reps int, tracePath string, rec *telemet
 	if tt.Value != c4Items[0].Value {
 		return fmt.Errorf("connect4/pooled_tt: value %d disagrees with sequential %d", tt.Value, c4Items[0].Value)
 	}
+	tt.YBWC = "on"
 	items = append(items, tt)
 
-	entries, err := collectTelemetry(rec, depth, tracePath)
+	entries, err := collectTelemetry(rec, depth, tracePath, deepProbe)
 	if err != nil {
 		return err
 	}
@@ -282,6 +338,8 @@ func checkEngineBench(path string) error {
 	}
 	seq := map[string]float64{}
 	bestPooled := map[string]float64{}
+	pooledAt := map[string]bool{}
+	var spineRows []benchfmt.Item
 	for _, it := range latest.Benchmarks {
 		if it.NodesPerSec <= 0 {
 			return fmt.Errorf("%s: %s/%s has non-positive nodes_per_sec", path, it.Workload, it.Name)
@@ -293,6 +351,17 @@ func checkEngineBench(path string) error {
 			if it.NodesPerSec > bestPooled[it.Workload] {
 				bestPooled[it.Workload] = it.NodesPerSec
 			}
+			pooledAt[fmt.Sprintf("%s/w%d", it.Workload, it.Workers)] = true
+		case "pooled_spine":
+			spineRows = append(spineRows, it)
+		}
+	}
+	// Every spine-only row must have its YBWC counterpart at the same
+	// width, or the -ab ybwc gate has nothing to align.
+	for _, it := range spineRows {
+		if !pooledAt[fmt.Sprintf("%s/w%d", it.Workload, it.Workers)] {
+			return fmt.Errorf("%s: %s/pooled_spine(workers=%d) has no matching pooled row",
+				path, it.Workload, it.Workers)
 		}
 	}
 	for _, workload := range []string{"tree", "connect4"} {

@@ -52,6 +52,7 @@ func main() {
 		engineBench = flag.String("enginebench", "", "write the engine substrate benchmark to this JSON file and exit")
 		engineDepth = flag.Int("enginedepth", 8, "search depth for -enginebench")
 		engineReps  = flag.Int("enginereps", 5, "repetitions per configuration for -enginebench")
+		deepProbe   = flag.Bool("deepprobe", false, "with -enginebench: add the Connect-4 depth-12 telemetry probe (minutes)")
 
 		checkBench   = flag.String("checkbench", "", "validate an -enginebench JSON document and exit (CI smoke gate)")
 		telemetryOut = flag.String("telemetry", "", "with -enginebench: also write a Chrome trace_event file of the instrumented run")
@@ -83,7 +84,7 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		if err := runEngineBench(*engineBench, *engineDepth, *engineReps, *telemetryOut, rec); err != nil {
+		if err := runEngineBench(*engineBench, *engineDepth, *engineReps, *telemetryOut, rec, *deepProbe); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
 		}

@@ -52,6 +52,8 @@ func main() {
 		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
 		maxDeadline = flag.Duration("maxdeadline", 30*time.Second, "cap on client-requested deadlines")
 		maxDepth    = flag.Int("maxdepth", 16, "maximum request depth")
+		horizon     = flag.Int("split-horizon", 0, "sequential split horizon in plies (0 = engine default)")
+		ybwc        = flag.Bool("ybwc", true, "recursive YBWC splitting inside speculative subtrees (false = spine-only splits)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -74,6 +76,8 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MaxDepth:        *maxDepth,
+		SplitHorizon:    *horizon,
+		SpineOnly:       !*ybwc,
 		Telemetry:       telemetry.NewRecorder(),
 	})
 

@@ -419,7 +419,12 @@ type TranspositionTable = engine.Table
 // transposition table.
 type Hasher = engine.Hasher
 
-// SearchOptions configures the table-driven searches.
+// SearchOptions configures the table-driven searches, including the
+// recursive-splitting knobs: SplitHorizon (remaining depth at and below
+// which a worker searches sequentially in place; 0 = the default two
+// ply) and SpineOnly (true restores the pre-YBWC discipline where only
+// the leftmost spine opens split points and speculative subtrees run
+// sequentially).
 type EngineOptions = engine.SearchOptions
 
 // NewTranspositionTable allocates a table with at least the given number
@@ -535,8 +540,10 @@ func RScout(t *Tree, seed int64) (int32, int64) { return randomized.RScout(t, se
 
 // SearchRootSplit is the classical root-splitting parallel search (the
 // paper's references [2,4] era baseline): root moves distributed across
-// workers with a shared atomically-tightened alpha. Kept as a baseline
-// for the cascade; same value as Search.
+// workers with a shared atomically-tightened alpha. It now runs as a
+// special case of the pooled searcher — one split point at the root,
+// sequential subtrees below — kept as a baseline for the cascade; same
+// value as Search.
 func SearchRootSplit(ctx context.Context, pos Position, depth, workers int) (SearchResult, error) {
 	return engine.SearchRootSplit(ctx, pos, depth, workers)
 }

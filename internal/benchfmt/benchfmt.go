@@ -38,9 +38,15 @@ type Machine struct {
 // Item is one benchmark row: a (workload, configuration, workers)
 // triple with its throughput measurements.
 type Item struct {
-	Workload    string  `json:"workload"` // tree | connect4
-	Name        string  `json:"name"`     // sequential | spawn | pooled | pooled_tt
-	Workers     int     `json:"workers"`  // 0 for sequential
+	Workload string `json:"workload"` // tree | connect4
+	Name     string `json:"name"`     // sequential | spawn | pooled | pooled_spine | pooled_tt
+	Workers  int    `json:"workers"`  // 0 for sequential
+	// YBWC records the splitting discipline of pooled rows: "on" for
+	// recursive YBWC (the default engine), "off" for spine-only splits.
+	// Empty for configurations where the knob does not apply. The
+	// discipline is also encoded in Name (pooled vs pooled_spine) so
+	// Key() alignment across runs stays unchanged.
+	YBWC        string  `json:"ybwc,omitempty"`
 	Reps        int     `json:"reps"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	NodesPerOp  float64 `json:"nodes_per_op"`
@@ -74,6 +80,7 @@ type TelemetryEntry struct {
 	Workload string           `json:"workload"`
 	Name     string           `json:"name"`
 	Workers  int              `json:"workers"`
+	YBWC     string           `json:"ybwc,omitempty"` // on | off; empty when not applicable
 	Report   telemetry.Report `json:"report"`
 }
 

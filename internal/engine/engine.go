@@ -83,7 +83,7 @@ func Search(pos Position, depth int) Result {
 // up to `workers` worker goroutines (0 means GOMAXPROCS) with per-worker
 // work-stealing deques. It returns the same value as Search.
 func SearchParallel(ctx context.Context, pos Position, depth, workers int) (Result, error) {
-	return searchPooled(ctx, pos, depth, workers, nil, nil)
+	return searchPooled(ctx, pos, depth, workers, nil, nil, poolConfig{})
 }
 
 // searcher is the sequential search state of one goroutine: the node

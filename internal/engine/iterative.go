@@ -20,6 +20,24 @@ type SearchOptions struct {
 	// split-point lifetime spans. Nil keeps the hot path uninstrumented
 	// (one nil-check branch per event).
 	Telemetry *telemetry.Recorder
+	// SplitHorizon is the remaining depth at or below which the pooled
+	// searches evaluate a subtree sequentially in place instead of
+	// splitting it into stealable tasks. 0 means the default (2 ply);
+	// raising it coarsens task granularity.
+	SplitHorizon int
+	// SpineOnly restores the pre-YBWC splitting discipline: stolen tasks
+	// run the plain sequential negamax and never open split points of
+	// their own, so splits exist only on the leftmost spine. The default
+	// (false) is recursive YBWC — speculative subtrees re-enter the
+	// splittable searcher and may split again, with per-node windows
+	// narrowed by the freshest shared bound.
+	SpineOnly bool
+}
+
+// poolConfig maps the option set's split-shaping knobs onto the pool's
+// internal config.
+func (opt SearchOptions) poolConfig() poolConfig {
+	return poolConfig{horizon: opt.SplitHorizon, spineOnly: opt.SpineOnly}
 }
 
 // SearchTT is Search with a transposition table: results of previous
@@ -71,7 +89,7 @@ func SearchIterative(ctx context.Context, pos Position, maxDepth int, opt Search
 // transposition table, on the same pooled substrate as SearchParallel.
 func SearchParallelTT(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance()
-	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry)
+	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry, opt.poolConfig())
 }
 
 // SearchParallelOpt is SearchParallel with the full option set: an
@@ -85,7 +103,7 @@ func SearchParallelTT(ctx context.Context, pos Position, depth int, opt SearchOp
 // errors.Is(err, context.DeadlineExceeded) distinguishes timeouts.
 func SearchParallelOpt(ctx context.Context, pos Position, depth int, opt SearchOptions) (Result, error) {
 	opt.Table.Advance() // nil-safe
-	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry)
+	return searchPooled(ctx, pos, depth, opt.Workers, opt.Table, opt.Telemetry, opt.poolConfig())
 }
 
 // extractPV walks the transposition table from the root, following stored

@@ -34,9 +34,40 @@ import (
 	"gametree/internal/telemetry"
 )
 
-// seqSplitDepth is the horizon below which subtrees are searched in place:
-// scheduling a task costs more than searching a 2-ply subtree.
+// seqSplitDepth is the default horizon below which subtrees are searched in
+// place: scheduling a task costs more than searching a 2-ply subtree.
 const seqSplitDepth = 2
+
+// poolConfig shapes how a pool splits work. The zero value is not used
+// directly — constructors pass it through normalize, which applies the
+// default horizon — so a zero SplitHorizon always means seqSplitDepth.
+type poolConfig struct {
+	// horizon is the remaining depth at or below which a subtree is
+	// searched sequentially in place rather than split into tasks.
+	horizon int
+	// spineOnly restores the pre-YBWC behaviour: stolen tasks run plain
+	// negamax and never open split points of their own, so splits exist
+	// only on the leftmost spine walked by worker 0.
+	spineOnly bool
+	// noYBW is the root-split baseline: every root move becomes a task
+	// with the full window and there is no young-brothers phase 1. Only
+	// meaningful together with a depth-1 horizon and spineOnly.
+	noYBW bool
+	// watermark is the demand-driven split gate: a worker opens a split
+	// point only while its own deque holds at most this many queued
+	// tasks (default 0 — split only when the queue has drained, i.e.
+	// thieves are actually hungry). Tests raise it to force eager
+	// splitting; production code leaves it at zero.
+	watermark int
+}
+
+// normalize applies the default horizon.
+func (c poolConfig) normalize() poolConfig {
+	if c.horizon <= 0 {
+		c.horizon = seqSplitDepth
+	}
+	return c
+}
 
 // task is one speculative sibling search, embedded in its split point's
 // task slab so a split costs O(1) allocations, not O(branching).
@@ -229,6 +260,7 @@ type worker struct {
 // exactly what the exported Pool amortizes across requests.
 type pool struct {
 	workers []*worker
+	cfg     poolConfig          // split-shaping knobs, fixed at construction
 	rec     *telemetry.Recorder // nil when the search is uninstrumented
 	stop    atomic.Bool         // current search cancelled or a worker panicked
 	active  atomic.Bool         // a search is in flight; helpers spin, not park
@@ -269,11 +301,11 @@ func (p *pool) err() error {
 // offsets the telemetry shard indices so several pools can share one
 // recorder without overlapping single-writer shards (the serve layer runs
 // pool k on shards [k*workers, (k+1)*workers)).
-func newPool(workers int, table *Table, rec *telemetry.Recorder, shardBase int) *pool {
+func newPool(workers int, table *Table, rec *telemetry.Recorder, shardBase int, cfg poolConfig) *pool {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	p := &pool{workers: make([]*worker, workers), rec: rec}
+	p := &pool{workers: make([]*worker, workers), cfg: cfg.normalize(), rec: rec}
 	p.parkCond = sync.NewCond(&p.parkMu)
 	for i := range p.workers {
 		w := &worker{pool: p, id: i, rng: uint64(shardBase+i)*0x9e3779b97f4a7c15 + 1}
@@ -479,16 +511,19 @@ func (w *worker) nextRand() uint64 {
 	return x
 }
 
-// runTask executes one speculative sibling with the sequential searcher,
-// reading the freshest shared alpha at start (a stale, wider window only
-// loses sharpness, never correctness). Siblings cut or interrupted on the
+// runTask executes one speculative sibling, reading the freshest shared
+// alpha at start (a stale, wider window only loses sharpness, never
+// correctness). Above the sequential horizon the sibling re-enters the
+// splittable searcher with the split as its enclosing abort scope, so
+// helpers working a stolen subtree open split points of their own
+// (recursive YBWC); at or below the horizon — or in spine-only mode — it
+// runs the plain sequential negamax. Siblings cut or interrupted on the
 // way report ok=false so their partial values are never merged.
 func (w *worker) runTask(t *task) {
 	sp := t.sp
 	if w.pool.stop.Load() || sp.aborted() {
 		if w.tm != nil {
-			w.tm.Aborts.Add(1) // skipped before running
-			w.recordAbortEvent(t)
+			w.noteAbort(t) // skipped before running
 		}
 		sp.complete(t.idx, 0, false)
 		return
@@ -510,27 +545,39 @@ func (w *worker) runTask(t *task) {
 		if r := recover(); r != nil {
 			w.pool.fail(r)
 			if w.tm != nil {
-				w.tm.Aborts.Add(1)
-				w.recordAbortEvent(t)
+				w.noteAbort(t)
 			}
 			sp.complete(t.idx, 0, false)
 		}
 	}()
-	v, _ := w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
+	var v int64
+	if !w.pool.cfg.spineOnly && t.depth > w.pool.cfg.horizon {
+		// Recursive YBWC: the stolen subtree runs the full cascade and may
+		// split again. The enclosing split chains the abort scopes, so a
+		// beta cutoff anywhere above pre-empts every nested split here.
+		v, _ = w.search(t.pos, t.depth, -sp.beta, -sp.shared.Load(), sp, false)
+	} else {
+		v, _ = w.negamax(t.pos, t.depth, -sp.beta, -sp.shared.Load(), false)
+	}
 	ok := !w.pool.stop.Load() && !sp.aborted()
 	if w.tm != nil {
 		w.tm.Hist[telemetry.HistTaskRunNs].Observe(w.pool.rec.Now() - startNs)
 		if !ok {
-			w.tm.Aborts.Add(1) // pre-empted mid-search
-			w.recordAbortEvent(t)
+			w.noteAbort(t) // pre-empted mid-search
 		}
 	}
 	sp.complete(t.idx, -v, ok)
 }
 
-// recordAbortEvent logs one abort to the structured event log, if it is
-// on. Only called on the instrumented path (w.tm non-nil).
-func (w *worker) recordAbortEvent(t *task) {
+// noteAbort accounts one aborted task: the plain counter, the nested-abort
+// counter when the cutoff came from an *ancestor* split (the chained abort
+// rule pre-empting a whole speculative subtree rather than a local
+// cutoff), and the structured event log. Only called when w.tm != nil.
+func (w *worker) noteAbort(t *task) {
+	w.tm.Aborts.Add(1)
+	if sp := t.sp; !sp.abort.Load() && sp.aborted() {
+		w.tm.NestedAborts.Add(1)
+	}
 	if rec := w.pool.rec; rec.EventsEnabled() {
 		rec.RecordEvent(telemetry.Event{
 			Ns: rec.Now(), Kind: telemetry.EventAbort,
@@ -622,6 +669,12 @@ func (w *worker) newSplit(up *splitPoint, alpha, beta, best int64, bestIdx int, 
 	}
 	if w.tm != nil {
 		w.tm.Splits.Add(1)
+		if up != nil {
+			w.tm.NestedSplits.Add(1)
+		}
+		// depth is the remaining depth of the sibling subtrees; the split
+		// node itself sits one ply above.
+		w.tm.Hist[telemetry.HistSplitDepth].Observe(int64(depth) + 1)
 		w.tm.ObserveDeque(w.dq.bottom.Load() - w.dq.top.Load())
 		if sp.rec.EventsEnabled() {
 			sp.rec.RecordEvent(telemetry.Event{
@@ -642,7 +695,10 @@ func (w *worker) releaseSplit(sp *splitPoint) {
 	sp.up = nil
 	sp.rec = nil
 	sp.openNs, sp.cutNs = 0, 0
-	if len(w.spFree) < 8 {
+	// Recursive YBWC nests splits (one live per frame of the cascade plus
+	// the recycled ones), so the free list is sized for deep nesting, not
+	// just the spine's churn.
+	if len(w.spFree) < 32 {
 		w.spFree = append(w.spFree, sp)
 	}
 }
@@ -650,12 +706,15 @@ func (w *worker) releaseSplit(sp *splitPoint) {
 // search is the pooled cascade: leftmost child first (recursively, exactly
 // as the sequential search would), then the remaining children as
 // stealable speculative tasks with the window established by the first.
+// With recursive YBWC (the default), stolen tasks re-enter this function
+// and the cascade repeats inside the speculative subtree, down to the
+// configured horizon.
 func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitPoint, wantBest bool) (int64, int) {
 	if w.pool.stop.Load() || (encl != nil && encl.aborted()) {
 		return alpha, -1
 	}
 	// Shallow (or horizonless) subtrees are cheaper in place than scheduled.
-	if depth <= seqSplitDepth {
+	if depth <= w.pool.cfg.horizon {
 		prev := w.sp
 		w.sp = encl
 		v, b := w.negamax(pos, depth, alpha, beta, wantBest)
@@ -669,6 +728,22 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 		return int64(pos.Evaluate()), -1
 	}
 
+	// Root-split baseline: all children become tasks with the caller's
+	// (full) window and no phase-1 eldest brother. With the depth-1 horizon
+	// SearchRootSplit configures, the root is the only node above the
+	// horizon, so this reproduces classical tree splitting exactly.
+	if w.pool.cfg.noYBW {
+		sp := w.newSplit(encl, alpha, beta, -scoreInf, -1, moves, depth-1, 0)
+		w.putMoves(moves, scratch)
+		w.join(sp)
+		best, bestIdx := sp.best, sp.bestIdx
+		w.releaseSplit(sp)
+		if !wantBest {
+			return best, -1
+		}
+		return best, bestIdx
+	}
+
 	// Phase 1: the leftmost child establishes the window, exactly as the
 	// sequential algorithm would.
 	v0, _ := w.search(moves[0], depth-1, -beta, -alpha, encl, false)
@@ -680,6 +755,38 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 	if alpha >= beta || len(moves) == 1 ||
 		w.pool.stop.Load() || (encl != nil && encl.aborted()) {
 		w.putMoves(moves, scratch)
+		return best, bestIdx
+	}
+
+	// Splitting pays deque, join and merge machinery per sibling, so it
+	// is demand-driven: a worker opens a split point only when its own
+	// deque has drained — thieves took everything queued (or nothing was
+	// ever queued: the spine). A worker still holding queued tasks has
+	// already exposed unclaimed parallelism, so it searches the siblings
+	// in place instead; the recursion re-checks at every node, so the
+	// subtree starts splitting again the moment the queue empties.
+	// Without this gate every interior node above the horizon pays the
+	// split overhead and recursive YBWC loses ~30% wall clock to
+	// spine-only splitting; with it, split points track steal demand.
+	if w.dq.bottom.Load()-w.dq.top.Load() > int64(w.pool.cfg.watermark) {
+		for i := 1; i < len(moves); i++ {
+			v, _ := w.search(moves[i], depth-1, -beta, -alpha, encl, false)
+			if -v > best {
+				best = -v
+				bestIdx = i
+			}
+			if best > alpha {
+				alpha = best
+			}
+			if alpha >= beta || w.pool.stop.Load() ||
+				(encl != nil && encl.aborted()) {
+				break
+			}
+		}
+		w.putMoves(moves, scratch)
+		if !wantBest {
+			return best, -1
+		}
 		return best, bestIdx
 	}
 
@@ -699,31 +806,28 @@ func (w *worker) search(pos Position, depth int, alpha, beta int64, encl *splitP
 // calling goroutine as worker 0 (zero handoff cost: with one worker the
 // search is plainly sequential). Long-lived callers should hold a Pool
 // instead and amortize the construction.
-func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table, rec *telemetry.Recorder) (Result, error) {
-	p := newPool(workers, table, rec, 0)
+func searchPooled(ctx context.Context, pos Position, depth, workers int, table *Table, rec *telemetry.Recorder, cfg poolConfig) (Result, error) {
+	p := newPool(workers, table, rec, 0, cfg)
 	defer p.close()
 	return p.runSearch(ctx, func(w0 *worker) (int64, int) {
 		return w0.search(pos, depth, -scoreInf, scoreInf, nil, true)
 	})
 }
 
-// searchRootSplitPooled is the classical tree-splitting baseline on the
-// pooled substrate: every root move is a task, searched with the shared,
-// atomically tightened alpha; no phase-1 spine, no cutoffs (the root
-// window is full), so its speculation waste is preserved for comparison.
-func searchRootSplitPooled(ctx context.Context, pos Position, depth, workers int) (Result, error) {
-	moves := pos.Moves()
-	if depth == 0 || len(moves) == 0 {
-		return Result{Value: pos.Evaluate(), Best: -1, Nodes: 1}, nil
+// SearchRootSplit is the classical tree-splitting baseline: every root
+// move is a task, searched with the shared, atomically tightened alpha; no
+// phase-1 spine, no cutoffs (the root window stays full), so its
+// speculation waste is preserved for comparison. It is the pooled cascade
+// configured with a depth-1 horizon — the root is the only split node —
+// rather than a separate entry point.
+func SearchRootSplit(ctx context.Context, pos Position, depth, workers int) (Result, error) {
+	horizon := depth - 1
+	if horizon < 1 {
+		horizon = 1
 	}
-	p := newPool(workers, nil, nil, 0)
-	defer p.close()
-	return p.runSearch(ctx, func(w0 *worker) (int64, int) {
-		w0.nodes++ // the root itself
-		sp := w0.newSplit(nil, -scoreInf, scoreInf, -scoreInf, -1, moves, depth-1, 0)
-		w0.join(sp)
-		best, bestIdx := sp.best, sp.bestIdx
-		w0.releaseSplit(sp)
-		return best, bestIdx
+	return searchPooled(ctx, pos, depth, workers, nil, nil, poolConfig{
+		horizon:   horizon,
+		spineOnly: true,
+		noYBW:     true,
 	})
 }

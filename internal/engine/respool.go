@@ -41,7 +41,18 @@ func NewPool(workers int, table *Table, rec *telemetry.Recorder) *Pool {
 // of a set sharing one Recorder should pass base k*workers so every
 // worker keeps a private single-writer shard.
 func NewPoolShards(workers int, table *Table, rec *telemetry.Recorder, shardBase int) *Pool {
-	return &Pool{p: newPool(workers, table, rec, shardBase), table: table}
+	return NewPoolOpt(SearchOptions{Workers: workers, Table: table, Telemetry: rec}, shardBase)
+}
+
+// NewPoolOpt is NewPoolShards taking the full option set, so resident
+// pools honour the split-shaping knobs (SplitHorizon, SpineOnly) in
+// addition to Workers, Table and Telemetry. The knobs are fixed for the
+// pool's lifetime; every Search runs under them.
+func NewPoolOpt(opt SearchOptions, shardBase int) *Pool {
+	return &Pool{
+		p:     newPool(opt.Workers, opt.Table, opt.Telemetry, shardBase, opt.poolConfig()),
+		table: opt.Table,
+	}
 }
 
 // Workers reports the pool's worker count (after the 0 = GOMAXPROCS

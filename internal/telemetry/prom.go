@@ -32,9 +32,11 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		{"gametree_nodes_total", "Positions visited by the search.", s.Total.Nodes},
 		{"gametree_tasks_total", "Speculative sibling tasks executed.", s.Total.Tasks},
 		{"gametree_splits_total", "Split points opened.", s.Total.Splits},
+		{"gametree_nested_splits_total", "Split points opened beneath an enclosing split.", s.Total.NestedSplits},
 		{"gametree_steal_attempts_total", "Steal attempts on a non-empty victim deque.", s.Total.StealAttempts},
 		{"gametree_steals_total", "Steal attempts that won the task.", s.Total.Steals},
 		{"gametree_aborts_total", "Tasks skipped or pre-empted by an abort.", s.Total.Aborts},
+		{"gametree_nested_aborts_total", "Aborts propagated from an ancestor split's cutoff.", s.Total.NestedAborts},
 		{"gametree_abort_drains_total", "Joins that drained after a beta cutoff.", s.Total.AbortDrains},
 		{"gametree_tt_probes_total", "Transposition-table probes.", s.Total.TTProbes},
 		{"gametree_tt_hits_total", "Transposition-table probe hits.", s.Total.TTHits},

@@ -24,6 +24,9 @@ gametree_tasks_total 12
 # HELP gametree_splits_total Split points opened.
 # TYPE gametree_splits_total counter
 gametree_splits_total 3
+# HELP gametree_nested_splits_total Split points opened beneath an enclosing split.
+# TYPE gametree_nested_splits_total counter
+gametree_nested_splits_total 1
 # HELP gametree_steal_attempts_total Steal attempts on a non-empty victim deque.
 # TYPE gametree_steal_attempts_total counter
 gametree_steal_attempts_total 8
@@ -33,6 +36,9 @@ gametree_steals_total 6
 # HELP gametree_aborts_total Tasks skipped or pre-empted by an abort.
 # TYPE gametree_aborts_total counter
 gametree_aborts_total 2
+# HELP gametree_nested_aborts_total Aborts propagated from an ancestor split's cutoff.
+# TYPE gametree_nested_aborts_total counter
+gametree_nested_aborts_total 1
 # HELP gametree_abort_drains_total Joins that drained after a beta cutoff.
 # TYPE gametree_abort_drains_total counter
 gametree_abort_drains_total 2
@@ -135,6 +141,15 @@ gametree_retransmit_delay_ns_count 0
 gametree_recovery_ns_bucket{le="+Inf"} 0
 gametree_recovery_ns_sum 0
 gametree_recovery_ns_count 0
+# HELP gametree_split_depth Remaining search depth at each opened split point.
+# TYPE gametree_split_depth histogram
+gametree_split_depth_bucket{le="1"} 0
+gametree_split_depth_bucket{le="2"} 0
+gametree_split_depth_bucket{le="4"} 1
+gametree_split_depth_bucket{le="8"} 3
+gametree_split_depth_bucket{le="+Inf"} 3
+gametree_split_depth_sum 17
+gametree_split_depth_count 3
 `
 
 // buildPromFixture populates a recorder with a small deterministic state
@@ -149,9 +164,11 @@ func buildPromFixture() *Recorder {
 	a.Tasks.Add(7)
 	b.Tasks.Add(5)
 	a.Splits.Add(3)
+	a.NestedSplits.Add(1)
 	a.StealAttempts.Add(8)
 	a.Steals.Add(6)
 	a.Aborts.Add(2)
+	a.NestedAborts.Add(1)
 	a.AbortDrains.Add(2)
 	a.TTProbes.Add(40)
 	a.TTHits.Add(10)
@@ -168,6 +185,9 @@ func buildPromFixture() *Recorder {
 	for i := 0; i < 40; i++ {
 		a.Hist[HistTTProbeDepth].Observe(4)
 	}
+	a.Hist[HistSplitDepth].Observe(8)
+	a.Hist[HistSplitDepth].Observe(5)
+	b.Hist[HistSplitDepth].Observe(4)
 	return r
 }
 

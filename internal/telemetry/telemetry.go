@@ -55,6 +55,7 @@ const (
 	HistMsgResidenceNs           // msgpass mailbox residence (send→drain), ns
 	HistRetransmitDelayNs        // age of an unacked message at each retransmit, ns
 	HistRecoveryNs               // heartbeat silence until a crash was declared, ns
+	HistSplitDepth               // remaining search depth at each opened split point
 	NumHists
 )
 
@@ -78,6 +79,8 @@ func HistName(i int) string {
 		return "retransmit_delay_ns"
 	case HistRecoveryNs:
 		return "recovery_ns"
+	case HistSplitDepth:
+		return "split_depth"
 	}
 	return ""
 }
@@ -101,6 +104,8 @@ func HistHelp(i int) string {
 		return "Age of an unacknowledged message at each retransmission, nanoseconds."
 	case HistRecoveryNs:
 		return "Heartbeat silence observed when a processor was declared dead, nanoseconds."
+	case HistSplitDepth:
+		return "Remaining search depth at each opened split point."
 	}
 	return ""
 }
@@ -115,8 +120,13 @@ func HistHelp(i int) string {
 //	StealAttempts  steal attempts on a non-empty victim deque
 //	Steals         steal attempts that won the task
 //	Splits         split points opened by this worker
+//	NestedSplits   splits opened beneath an enclosing split (recursive
+//	               YBWC splits inside a stolen subtree)
 //	Aborts         tasks that observed an abort (skipped before running,
 //	               or whose in-flight search was pre-empted)
+//	NestedAborts   aborts propagated from an *ancestor* split's beta
+//	               cutoff rather than raised locally — the chained abort
+//	               rule pre-empting a whole speculative subtree
 //	AbortDrains    joins that drained after a beta cutoff was raised
 //	AbortDrainNs   cumulative cutoff-to-drain latency over those joins
 //	TTProbes/TTHits/TTStores/TTEvictions
@@ -137,7 +147,9 @@ type Shard struct {
 	StealAttempts atomic.Int64
 	Steals        atomic.Int64
 	Splits        atomic.Int64
+	NestedSplits  atomic.Int64
 	Aborts        atomic.Int64
+	NestedAborts  atomic.Int64
 	AbortDrains   atomic.Int64
 	AbortDrainNs  atomic.Int64
 	TTProbes      atomic.Int64
@@ -176,7 +188,9 @@ type Counts struct {
 	StealAttempts int64
 	Steals        int64
 	Splits        int64
+	NestedSplits  int64
 	Aborts        int64
+	NestedAborts  int64
 	AbortDrains   int64
 	AbortDrainNs  int64
 	TTProbes      int64
@@ -200,7 +214,9 @@ func (s *Shard) load() Counts {
 		StealAttempts: s.StealAttempts.Load(),
 		Steals:        s.Steals.Load(),
 		Splits:        s.Splits.Load(),
+		NestedSplits:  s.NestedSplits.Load(),
 		Aborts:        s.Aborts.Load(),
+		NestedAborts:  s.NestedAborts.Load(),
 		AbortDrains:   s.AbortDrains.Load(),
 		AbortDrainNs:  s.AbortDrainNs.Load(),
 		TTProbes:      s.TTProbes.Load(),
@@ -224,7 +240,9 @@ func (c *Counts) add(o Counts) {
 	c.StealAttempts += o.StealAttempts
 	c.Steals += o.Steals
 	c.Splits += o.Splits
+	c.NestedSplits += o.NestedSplits
 	c.Aborts += o.Aborts
+	c.NestedAborts += o.NestedAborts
 	c.AbortDrains += o.AbortDrains
 	c.AbortDrainNs += o.AbortDrainNs
 	c.TTProbes += o.TTProbes
@@ -368,10 +386,12 @@ type Report struct {
 	Nodes            int64   `json:"nodes"`
 	Tasks            int64   `json:"tasks"`
 	Splits           int64   `json:"splits"`
+	NestedSplits     int64   `json:"nested_splits,omitempty"`
 	StealAttempts    int64   `json:"steal_attempts"`
 	Steals           int64   `json:"steals"`
 	StealEfficiency  float64 `json:"steal_efficiency"` // Steals/StealAttempts; 0 when no attempts
 	Aborts           int64   `json:"aborts"`
+	NestedAborts     int64   `json:"nested_aborts,omitempty"`
 	AbortDrains      int64   `json:"abort_drains"`
 	AbortDrainMeanUs float64 `json:"abort_drain_mean_us"` // mean cutoff→drain latency, µs
 	// Abort-drain latency quantiles from the HistAbortDrainNs family —
@@ -388,8 +408,13 @@ type Report struct {
 	TaskRunP99Us float64 `json:"task_run_p99_us,omitempty"`
 	// Steal-retry tail (HistStealRetries): CAS contention per steal
 	// attempt that saw work.
-	StealRetryP95  float64 `json:"steal_retry_p95,omitempty"`
-	StealRetryMax  int64   `json:"steal_retry_max,omitempty"`
+	StealRetryP95 float64 `json:"steal_retry_p95,omitempty"`
+	StealRetryMax int64   `json:"steal_retry_max,omitempty"`
+	// Split-depth quantiles (HistSplitDepth): where in the tree split
+	// points open. Spine-only splitting pins these near the root depth;
+	// recursive YBWC spreads them down the tree.
+	SplitDepthP50  float64 `json:"split_depth_p50,omitempty"`
+	SplitDepthMax  int64   `json:"split_depth_max,omitempty"`
 	TTProbes       int64   `json:"tt_probes"`
 	TTHits         int64   `json:"tt_hits"`
 	TTHitRate      float64 `json:"tt_hit_rate"` // TTHits/TTProbes; 0 when no probes
@@ -424,9 +449,11 @@ func (s Snapshot) Report() Report {
 		Nodes:          t.Nodes,
 		Tasks:          t.Tasks,
 		Splits:         t.Splits,
+		NestedSplits:   t.NestedSplits,
 		StealAttempts:  t.StealAttempts,
 		Steals:         t.Steals,
 		Aborts:         t.Aborts,
+		NestedAborts:   t.NestedAborts,
 		AbortDrains:    t.AbortDrains,
 		TTProbes:       t.TTProbes,
 		TTHits:         t.TTHits,
@@ -454,6 +481,10 @@ func (s Snapshot) Report() Report {
 	if sr := s.Hist[HistStealRetries]; sr.Count > 0 {
 		rep.StealRetryP95 = sr.P95()
 		rep.StealRetryMax = sr.Max
+	}
+	if sd := s.Hist[HistSplitDepth]; sd.Count > 0 {
+		rep.SplitDepthP50 = sd.P50()
+		rep.SplitDepthMax = sd.Max
 	}
 	if t.TTProbes > 0 {
 		rep.TTHitRate = float64(t.TTHits) / float64(t.TTProbes)
