@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-engine bench-smoke serve-smoke load stat vet lint
+.PHONY: all build test race chaos fuzz bench bench-engine bench-smoke serve-smoke shard-smoke load stat vet lint
 
 all: build test
 
@@ -27,6 +27,15 @@ race:
 chaos:
 	$(GO) test -race -short -count=1 -run 'Chaos|Protocol|Perfect|Injector|Seed|Lane|Validate|ParseSpec|Panic|YBWC' \
 		./internal/faultnet/ ./internal/msgpass/ ./internal/engine/
+
+# Frame-codec fuzzing on a bounded budget: the length-prefixed TCP
+# frame reader must never panic or over-allocate on arbitrary bytes.
+# The seeded unit form of FuzzFrameRoundTrip already rides in `test`
+# and `race`; this throws randomized mutations at it for FUZZTIME
+# (default 30s) and is wired into the CI race matrix.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -race -run='^$$' -fuzz=FuzzFrameRoundTrip -fuzztime=$(FUZZTIME) ./internal/transport/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -63,6 +72,15 @@ bench-smoke:
 # drain. Artifacts (logs, metrics scrape) in serve-smoke-artifacts/.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Distributed serving smoke (CI gate): a race-built three-process ring
+# (coordinator + two shard workers over TCP), exact values under
+# fan-out, kill -9 of one worker mid-burst (values stay exact, orphaned
+# tasks reissued), /metrics from all three processes, and — on hosts
+# with more than one CPU — a 2-worker vs 1-worker qps scaling ratio.
+# Artifacts in shard-smoke-artifacts/.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # Regenerate BENCH_serve.json: the per-request baseline and the resident
 # service measured on the identical workload, gated by gtstat on QPS.

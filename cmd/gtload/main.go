@@ -60,6 +60,8 @@ type config struct {
 	deadline    time.Duration
 	workers     int
 
+	shards int
+
 	expect    int64
 	hasExpect bool
 	out       string
@@ -266,6 +268,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "load duration")
 	flag.DurationVar(&cfg.deadline, "deadline", 10*time.Second, "per-request deadline")
 	flag.IntVar(&cfg.workers, "workers", 0, "workers per search, stamped on the benchmark row (baseline: actually used; serve: must match the server)")
+	flag.IntVar(&cfg.shards, "shards", 0, "worker processes behind the server, stamped on the benchmark row (0 = single process)")
 	expect := flag.String("expect", "", "assert every completed value equals this integer")
 	flag.StringVar(&cfg.out, "out", "", "append a run to this benchfmt JSON document")
 	flag.StringVar(&cfg.label, "label", "", "run label (default: baseline | serve)")
@@ -463,6 +466,7 @@ func writeRun(cfg config, c *counters, wall time.Duration) error {
 		Workload: fmt.Sprintf("%s-d%d-dup%02.0f", cfg.game, cfg.depth, cfg.dup*100),
 		Name:     "search",
 		Workers:  cfg.workers,
+		Shards:   cfg.shards,
 		Reps:     int(completed),
 		QPS:      float64(completed) / wall.Seconds(),
 	}

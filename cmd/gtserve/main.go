@@ -11,11 +11,22 @@
 //	                # address for a harness to read (CI smoke test)
 //	gtserve -pools 2 -workers 4 -queue 64 -cache 4096
 //
+// Distributed roles (package shard has the full semantics):
+//
+//	gtserve -role worker -shard-proc 1 -shard-listen 127.0.0.1:0 \
+//	        -shard-portfile /tmp/w1.shard -shard-peers 0=<coord>
+//	                # resident pool behind the shard protocol; the HTTP
+//	                # address serves /metrics and /healthz only
+//	gtserve -role coordinator -shard-listen 127.0.0.1:0 \
+//	        -shard-peers 1=<w1>,2=<w2> -expand-depth 1
+//	                # the HTTP API with searches expanded at the root
+//	                # and fanned out to the workers by consistent hash
+//
 // Endpoints:
 //
 //	POST /v1/search   {"game","position","depth","deadline_ms"}
 //	GET  /healthz     200 serving | 503 draining
-//	GET  /metrics     Prometheus text exposition (engine + serve)
+//	GET  /metrics     Prometheus text exposition (engine + serve + shard)
 //
 // On SIGINT/SIGTERM the server drains: new requests are shed with 503,
 // in-flight requests finish (or are cancelled when -drain-grace runs
@@ -40,61 +51,116 @@ import (
 	"gametree/internal/telemetry"
 )
 
+// options is the parsed flag set, shared by the three roles.
+type options struct {
+	role     string
+	addr     string
+	portFile string
+
+	workers      int
+	pools        int
+	queueDepth   int
+	tableSize    int
+	cacheEntries int
+	deadline     time.Duration
+	maxDeadline  time.Duration
+	maxDepth     int
+	horizon      int
+	spineOnly    bool
+	drainGrace   time.Duration
+
+	shardListen   string
+	shardPortFile string
+	shardPeers    string
+	shardProc     int
+	shardProcs    string
+	expandDepth   int
+	taskTimeout   time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 = ephemeral)")
-		portFile    = flag.String("portfile", "", "write the bound address to this file once listening")
-		workers     = flag.Int("workers", 0, "workers per engine pool (0 = GOMAXPROCS)")
-		pools       = flag.Int("pools", 2, "resident engine pools (max concurrent searches)")
-		queue       = flag.Int("queue", 64, "admission queue depth before 429 (-1 = no queue)")
-		tableSize   = flag.Int("table", 1<<20, "shared transposition table entries")
-		cacheSize   = flag.Int("cache", 4096, "result cache entries (-1 = disable)")
-		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
-		maxDeadline = flag.Duration("maxdeadline", 30*time.Second, "cap on client-requested deadlines")
-		maxDepth    = flag.Int("maxdepth", 16, "maximum request depth")
-		horizon     = flag.Int("split-horizon", 0, "sequential split horizon in plies (0 = engine default)")
-		ybwc        = flag.Bool("ybwc", true, "recursive YBWC splitting inside speculative subtrees (false = spine-only splits)")
-		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long to wait for in-flight requests on shutdown")
-	)
+	var o options
+	flag.StringVar(&o.role, "role", "single", "process role: single | coordinator | worker")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address (host:port; port 0 = ephemeral)")
+	flag.StringVar(&o.portFile, "portfile", "", "write the bound HTTP address to this file once listening")
+	flag.IntVar(&o.workers, "workers", 0, "workers per engine pool (0 = GOMAXPROCS)")
+	flag.IntVar(&o.pools, "pools", 2, "resident engine pools (max concurrent searches)")
+	queue := flag.Int("queue", 64, "admission queue depth before 429 (-1 = no queue)")
+	flag.IntVar(&o.tableSize, "table", 1<<20, "shared transposition table entries")
+	cacheSize := flag.Int("cache", 4096, "result cache entries (-1 = disable)")
+	flag.DurationVar(&o.deadline, "deadline", 2*time.Second, "default per-request deadline")
+	flag.DurationVar(&o.maxDeadline, "maxdeadline", 30*time.Second, "cap on client-requested deadlines")
+	flag.IntVar(&o.maxDepth, "maxdepth", 16, "maximum request depth")
+	flag.IntVar(&o.horizon, "split-horizon", 0, "sequential split horizon in plies (0 = engine default)")
+	ybwc := flag.Bool("ybwc", true, "recursive YBWC splitting inside speculative subtrees (false = spine-only splits)")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+
+	flag.StringVar(&o.shardListen, "shard-listen", "127.0.0.1:0", "coordinator/worker: shard transport listen address")
+	flag.StringVar(&o.shardPortFile, "shard-portfile", "", "coordinator/worker: write the bound shard transport address here")
+	flag.StringVar(&o.shardPeers, "shard-peers", "", "coordinator/worker: comma-separated proc=host:port shard peer table (proc 0 = coordinator)")
+	flag.IntVar(&o.shardProc, "shard-proc", 0, "worker: this process's shard processor id (> 0)")
+	flag.StringVar(&o.shardProcs, "shard-procs", "", "comma-separated worker processor ids forming the ring (default: derived from -shard-peers); must agree across all processes")
+	flag.IntVar(&o.expandDepth, "expand-depth", 1, "coordinator: plies expanded before fan-out")
+	flag.DurationVar(&o.taskTimeout, "task-timeout", 2*time.Second, "coordinator: per-task reissue timeout")
 	flag.Parse()
 
-	queueDepth := *queue
-	if queueDepth < 0 {
-		queueDepth = -1 // Config: negative = no queue
+	o.queueDepth = *queue
+	if o.queueDepth < 0 {
+		o.queueDepth = -1 // Config: negative = no queue
 	}
-	cacheEntries := *cacheSize
-	if cacheEntries < 0 {
-		cacheEntries = -1 // Config: negative = disabled
+	o.cacheEntries = *cacheSize
+	if o.cacheEntries < 0 {
+		o.cacheEntries = -1 // Config: negative = disabled
 	}
+	o.spineOnly = !*ybwc
 
+	switch o.role {
+	case "single":
+		os.Exit(runSingle(o))
+	case "coordinator":
+		os.Exit(runCoordinator(o))
+	case "worker":
+		os.Exit(runWorker(o))
+	default:
+		fmt.Fprintf(os.Stderr, "gtserve: unknown -role %q (want single, coordinator or worker)\n", o.role)
+		os.Exit(2)
+	}
+}
+
+func runSingle(o options) int {
 	srv := serve.New(serve.Config{
-		Workers:         *workers,
-		Pools:           *pools,
-		QueueDepth:      queueDepth,
-		TableEntries:    *tableSize,
-		CacheEntries:    cacheEntries,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxDepth:        *maxDepth,
-		SplitHorizon:    *horizon,
-		SpineOnly:       !*ybwc,
+		Workers:         o.workers,
+		Pools:           o.pools,
+		QueueDepth:      o.queueDepth,
+		TableEntries:    o.tableSize,
+		CacheEntries:    o.cacheEntries,
+		DefaultDeadline: o.deadline,
+		MaxDeadline:     o.maxDeadline,
+		MaxDepth:        o.maxDepth,
+		SplitHorizon:    o.horizon,
+		SpineOnly:       o.spineOnly,
 		Telemetry:       telemetry.NewRecorder(),
 	})
+	return serveHTTP(srv, o)
+}
 
-	ln, err := net.Listen("tcp", *addr)
+// serveHTTP runs the HTTP service (single or coordinator role) through
+// its full lifecycle: listen, publish the port, serve, drain on signal.
+func serveHTTP(srv *serve.Server, o options) int {
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gtserve:", err)
-		os.Exit(1)
+		return 1
 	}
 	bound := ln.Addr().String()
-	if *portFile != "" {
-		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+	if o.portFile != "" {
+		if err := os.WriteFile(o.portFile, []byte(bound+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "gtserve: portfile:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "gtserve: listening on %s (pools=%d workers=%d queue=%d)\n",
-		bound, *pools, *workers, queueDepth)
+	fmt.Fprintf(os.Stderr, "gtserve: listening on %s (role=%s pools=%d workers=%d queue=%d)\n",
+		bound, o.role, o.pools, o.workers, o.queueDepth)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -106,12 +172,12 @@ func main() {
 	case <-ctx.Done():
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "gtserve:", err)
-		os.Exit(1)
+		return 1
 	}
 	stop()
 
-	fmt.Fprintf(os.Stderr, "gtserve: draining (grace %s)\n", *drainGrace)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	fmt.Fprintf(os.Stderr, "gtserve: draining (grace %s)\n", o.drainGrace)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drainGrace)
 	defer cancel()
 	drainErr := srv.Drain(dctx)
 
@@ -134,7 +200,8 @@ func main() {
 
 	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "gtserve: forced drain:", drainErr)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintln(os.Stderr, "gtserve: clean drain")
+	return 0
 }

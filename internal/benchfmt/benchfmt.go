@@ -46,7 +46,11 @@ type Item struct {
 	// Empty for configurations where the knob does not apply. The
 	// discipline is also encoded in Name (pooled vs pooled_spine) so
 	// Key() alignment across runs stays unchanged.
-	YBWC        string  `json:"ybwc,omitempty"`
+	YBWC string `json:"ybwc,omitempty"`
+	// Shards is the number of worker processes behind the serving tier
+	// for distributed gtload rows; 0 (the default) means a single
+	// process and keeps the row key identical to pre-shard documents.
+	Shards      int     `json:"shards,omitempty"`
 	Reps        int     `json:"reps"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	NodesPerOp  float64 `json:"nodes_per_op"`
@@ -71,7 +75,11 @@ type Item struct {
 // Key identifies the configuration a row measures, for aligning rows
 // across runs.
 func (it Item) Key() string {
-	return fmt.Sprintf("%s/%s/w%d", it.Workload, it.Name, it.Workers)
+	key := fmt.Sprintf("%s/%s/w%d", it.Workload, it.Name, it.Workers)
+	if it.Shards > 0 {
+		key += fmt.Sprintf("/s%d", it.Shards)
+	}
+	return key
 }
 
 // TelemetryEntry pairs a telemetry report (counters plus histogram

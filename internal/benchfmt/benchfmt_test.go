@@ -81,3 +81,15 @@ func TestLoadRejectsUnknownSchema(t *testing.T) {
 func writeRaw(path string, raw []byte) error {
 	return os.WriteFile(path, raw, 0o644)
 }
+
+func TestItemKeyShards(t *testing.T) {
+	plain := Item{Workload: "random-d8-dup75", Name: "search", Workers: 8}
+	if got, want := plain.Key(), "random-d8-dup75/search/w8"; got != want {
+		t.Errorf("unsharded key %q, want %q (must align with pre-shard documents)", got, want)
+	}
+	sharded := plain
+	sharded.Shards = 2
+	if got, want := sharded.Key(), "random-d8-dup75/search/w8/s2"; got != want {
+		t.Errorf("sharded key %q, want %q", got, want)
+	}
+}

@@ -191,7 +191,7 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 				e.tm.TTProbes.Add(1)
 				e.tm.Hist[telemetry.HistTTProbeDepth].Observe(int64(depth))
 			}
-			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
+			if v, d, flag, tb, hit := e.table.ProbeAt(hash, depth); hit {
 				if e.tm != nil {
 					e.tm.TTHits.Add(1)
 				}
@@ -200,14 +200,14 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 				}
 				if d >= depth {
 					switch flag {
-					case boundExact:
+					case BoundExact:
 						e.putMoves(moves, scratch)
 						return int64(v), ttBest
-					case boundLower:
+					case BoundLower:
 						if int64(v) > alpha {
 							alpha = int64(v)
 						}
-					case boundUpper:
+					case BoundUpper:
 						if int64(v) < beta {
 							beta = int64(v)
 						}
@@ -249,14 +249,14 @@ func (e *searcher) negamax(pos Position, depth int, alpha, beta int64, wantBest 
 		}
 	}
 	if hashed && !e.interrupted() {
-		flag := boundExact
+		flag := BoundExact
 		switch {
 		case best <= alpha0:
-			flag = boundUpper
+			flag = BoundUpper
 		case best >= beta:
-			flag = boundLower
+			flag = BoundLower
 		}
-		evicted := e.table.Store(hash, int32(best), depth, flag, bestIdx)
+		evicted := e.table.StoreShared(hash, int32(best), depth, flag, bestIdx)
 		if e.tm != nil {
 			e.tm.TTStores.Add(1)
 			if evicted {

@@ -44,20 +44,20 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 	if e.table != nil {
 		if h, ok := pos.(Hasher); ok {
 			hash, hashed = h.Hash(), true
-			if v, d, flag, tb, hit := e.table.Probe(hash); hit {
+			if v, d, flag, tb, hit := e.table.ProbeAt(hash, depth); hit {
 				if tb >= 0 && tb < len(moves) {
 					ttBest = tb
 				}
 				if d >= depth {
 					switch flag {
-					case boundExact:
+					case BoundExact:
 						e.putMoves(moves, scratch)
 						return int64(v), ttBest
-					case boundLower:
+					case BoundLower:
 						if int64(v) > alpha {
 							alpha = int64(v)
 						}
-					case boundUpper:
+					case BoundUpper:
 						if int64(v) < beta {
 							beta = int64(v)
 						}
@@ -110,14 +110,14 @@ func (e *searcher) pvs(pos Position, depth int, alpha, beta int64) (int64, int) 
 		}
 	}
 	if hashed && !e.interrupted() {
-		flag := boundExact
+		flag := BoundExact
 		switch {
 		case best <= alpha0:
-			flag = boundUpper
+			flag = BoundUpper
 		case best >= beta:
-			flag = boundLower
+			flag = BoundLower
 		}
-		e.table.Store(hash, int32(best), depth, flag, bestIdx)
+		e.table.StoreShared(hash, int32(best), depth, flag, bestIdx)
 	}
 	e.putMoves(moves, scratch)
 	return best, bestIdx

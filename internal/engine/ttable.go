@@ -13,12 +13,35 @@ type Hasher interface {
 	Hash() uint64
 }
 
-// Bound flags for table entries.
+// Bound flags for table entries. Exported so the shard tier can carry
+// entries between processes in the two-level table.
 const (
-	boundExact uint64 = iota
-	boundLower
-	boundUpper
+	BoundExact uint64 = iota
+	BoundLower
+	BoundUpper
 )
+
+// RemoteTT is the remote half of a two-level transposition table: a
+// client that forwards traffic to the shard owning a hash. Both methods
+// MUST be non-blocking and asynchronous — they run on the search hot
+// path. A remote probe does not return the entry; the remote layer
+// installs any reply into the local table (Store), so it pays off on the
+// NEXT probe of the same position. That keeps the hot path free of
+// network latency while still sharing deep results between shards.
+type RemoteTT interface {
+	// Probe asks the owning shard for its entry of hash, on behalf of a
+	// local probe at the given remaining depth.
+	Probe(hash uint64, depth int)
+	// Store forwards a locally stored entry to the owning shard.
+	Store(hash uint64, value int32, depth int, flag uint64, best int)
+}
+
+// remoteHook pairs a remote client with its depth gate. Swapped
+// atomically so SetRemote is safe against concurrent searches.
+type remoteHook struct {
+	r        RemoteTT
+	minDepth int
+}
 
 // Entry packing: [ value:32 | depth:10 | gen:6 | flag:2 | best:14 ].
 const (
@@ -50,9 +73,10 @@ const (
 // evicted — so deep results no longer vanish to replace-always
 // collisions. Hits are advisory either way.
 type Table struct {
-	words []atomic.Uint64 // 2 per entry, bucketWays entries per bucket
-	mask  uint64          // bucket-index mask
-	gen   atomic.Uint32   // current generation (aging clock)
+	words  []atomic.Uint64 // 2 per entry, bucketWays entries per bucket
+	mask   uint64          // bucket-index mask
+	gen    atomic.Uint32   // current generation (aging clock)
+	remote atomic.Pointer[remoteHook]
 }
 
 // NewTable allocates a table with at least the given number of entries
@@ -178,3 +202,49 @@ func (t *Table) Probe(hash uint64) (value int32, depth int, flag uint64, best in
 
 // Len returns the capacity in entries.
 func (t *Table) Len() int { return len(t.words) / 2 }
+
+// SetRemote attaches (or, with nil, detaches) the remote half of a
+// two-level table. Probes and stores at remaining depth >= minDepth are
+// mirrored to the remote client: shallow traffic — the overwhelming bulk,
+// and the least valuable — stays local, so the remote window never
+// saturates on leaf-adjacent positions.
+func (t *Table) SetRemote(r RemoteTT, minDepth int) {
+	if t == nil {
+		return
+	}
+	if r == nil {
+		t.remote.Store(nil)
+		return
+	}
+	t.remote.Store(&remoteHook{r: r, minDepth: minDepth})
+}
+
+// ProbeAt is Probe plus the remote tier: on a local miss (or a local
+// entry too shallow for depth) it issues an asynchronous remote probe and
+// returns the local result immediately. The remote reply, if one comes,
+// lands in this table for later probes of the same position.
+func (t *Table) ProbeAt(hash uint64, depth int) (value int32, d int, flag uint64, best int, ok bool) {
+	value, d, flag, best, ok = t.Probe(hash)
+	if t == nil {
+		return
+	}
+	if h := t.remote.Load(); h != nil && depth >= h.minDepth && (!ok || d < depth) {
+		h.r.Probe(hash, depth)
+	}
+	return
+}
+
+// StoreShared is Store plus the remote tier: entries deep enough for the
+// depth gate are also forwarded (asynchronously) to the owning shard.
+// The remote layer itself installs replies and remote stores via plain
+// Store, which never forwards — that asymmetry is what prevents echo.
+func (t *Table) StoreShared(hash uint64, value int32, depth int, flag uint64, best int) bool {
+	evicted := t.Store(hash, value, depth, flag, best)
+	if t == nil {
+		return false
+	}
+	if h := t.remote.Load(); h != nil && depth >= h.minDepth {
+		h.r.Store(hash, value, depth, flag, best)
+	}
+	return evicted
+}

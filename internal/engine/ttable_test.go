@@ -22,7 +22,7 @@ func TestEntryPackRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 	// The no-move sentinel round-trips to -1.
-	if _, _, _, b := unpackEntry(packEntry(5, 3, boundExact, -1, 0)); b != -1 {
+	if _, _, _, b := unpackEntry(packEntry(5, 3, BoundExact, -1, 0)); b != -1 {
 		t.Errorf("sentinel best = %d", b)
 	}
 }
@@ -32,16 +32,16 @@ func TestEntryPackRoundTrip(t *testing.T) {
 // comparison bogus; they must clamp to the "no horizon" maximum instead.
 func TestNegativeDepthClamps(t *testing.T) {
 	for _, depth := range []int{-1, -5, -1 << 20} {
-		if _, d, _, _ := unpackEntry(packEntry(9, depth, boundExact, 2, 0)); d != ttDepthMax {
+		if _, d, _, _ := unpackEntry(packEntry(9, depth, BoundExact, 2, 0)); d != ttDepthMax {
 			t.Errorf("packEntry(depth=%d) round-trips to %d, want %d", depth, d, ttDepthMax)
 		}
 	}
 	// Over-wide positive depths clamp too, rather than corrupting fields.
-	if _, d, _, _ := unpackEntry(packEntry(9, ttDepthMax+1, boundExact, 2, 0)); d != ttDepthMax {
+	if _, d, _, _ := unpackEntry(packEntry(9, ttDepthMax+1, BoundExact, 2, 0)); d != ttDepthMax {
 		t.Errorf("oversized depth round-trips to %d, want %d", d, ttDepthMax)
 	}
 	tab := NewTable(64)
-	tab.Store(77, 3, -1, boundExact, 1)
+	tab.Store(77, 3, -1, BoundExact, 1)
 	v, d, _, _, ok := tab.Probe(77)
 	if !ok || v != 3 || d != ttDepthMax {
 		t.Errorf("stored depth -1: got v=%d d=%d ok=%v, want v=3 d=%d", v, d, ok, ttDepthMax)
@@ -78,23 +78,23 @@ func TestTableStoreProbe(t *testing.T) {
 	if tab.Len() != 1024 {
 		t.Errorf("capacity %d, want 1024", tab.Len())
 	}
-	tab.Store(42, -7, 5, boundLower, 2)
+	tab.Store(42, -7, 5, BoundLower, 2)
 	v, d, f, b, ok := tab.Probe(42)
-	if !ok || v != -7 || d != 5 || f != boundLower || b != 2 {
+	if !ok || v != -7 || d != 5 || f != BoundLower || b != 2 {
 		t.Errorf("probe: %v %v %v %v %v", v, d, f, b, ok)
 	}
 	if _, _, _, _, ok := tab.Probe(43); ok {
 		t.Error("phantom hit")
 	}
 	// Same-position stores refresh in place.
-	tab.Store(42, 11, 6, boundExact, 3)
+	tab.Store(42, 11, 6, BoundExact, 3)
 	if v, d, _, _, ok := tab.Probe(42); !ok || v != 11 || d != 6 {
 		t.Errorf("refresh lost: %v %v %v", v, d, ok)
 	}
 	// A colliding hash (same bucket) lands in another way of the 4-way
 	// bucket: both entries survive, and neither false-hits the other.
 	other := uint64(42 + 4*tab.Len())
-	tab.Store(other, 9, 1, boundExact, 0)
+	tab.Store(other, 9, 1, BoundExact, 0)
 	if v, _, _, _, ok := tab.Probe(42); !ok || v != 11 {
 		t.Error("bucketed entry evicted by a single collision")
 	}
@@ -102,7 +102,7 @@ func TestTableStoreProbe(t *testing.T) {
 		t.Error("colliding entry lost")
 	}
 	var nilTab *Table
-	nilTab.Store(1, 1, 1, boundExact, 0) // must not panic
+	nilTab.Store(1, 1, 1, BoundExact, 0) // must not panic
 	nilTab.Advance()
 	if _, _, _, _, ok := nilTab.Probe(1); ok {
 		t.Error("nil table hit")
@@ -116,11 +116,11 @@ func TestTableBucketReplacement(t *testing.T) {
 	buckets := uint64(tab.Len() / bucketWays)
 	// Fill the bucket with same-bucket hashes at increasing depths.
 	for i := 0; i < bucketWays; i++ {
-		tab.Store(uint64(i)*buckets, int32(i), i+2, boundExact, 0)
+		tab.Store(uint64(i)*buckets, int32(i), i+2, BoundExact, 0)
 	}
 	// Overflow with a deep entry: the shallowest (depth 2) is evicted.
 	extra := uint64(bucketWays) * buckets
-	tab.Store(extra, 99, 9, boundExact, 0)
+	tab.Store(extra, 99, 9, BoundExact, 0)
 	if _, _, _, _, ok := tab.Probe(0); ok {
 		t.Error("shallowest entry should have been evicted")
 	}
@@ -137,7 +137,7 @@ func TestTableBucketReplacement(t *testing.T) {
 	for i := 0; i < ttGenMask; i++ {
 		tab.Advance()
 	}
-	tab.Store(extra+buckets, 7, 3, boundExact, 0)
+	tab.Store(extra+buckets, 7, 3, BoundExact, 0)
 	if v, _, _, _, ok := tab.Probe(extra + buckets); !ok || v != 7 {
 		t.Error("current shallow entry could not displace stale deep ones")
 	}
@@ -154,7 +154,7 @@ func TestTableConcurrentTornWrites(t *testing.T) {
 			for i := 0; i < 5000; i++ {
 				h := rng.Uint64()
 				val := int32(h >> 33)
-				tab.Store(h, val, int(h%64), boundExact, int(h%7))
+				tab.Store(h, val, int(h%64), BoundExact, int(h%7))
 				if v, _, _, _, ok := tab.Probe(h); ok && v != val {
 					// A hit must carry the value stored under that
 					// exact hash; the XOR checksum guarantees it.

@@ -1,0 +1,76 @@
+package engine
+
+import "testing"
+
+// fakeRemote records the traffic the two-level hook forwards.
+type fakeRemote struct {
+	probes []uint64
+	stores []uint64
+}
+
+func (f *fakeRemote) Probe(hash uint64, depth int) { f.probes = append(f.probes, hash) }
+func (f *fakeRemote) Store(hash uint64, value int32, depth int, flag uint64, best int) {
+	f.stores = append(f.stores, hash)
+}
+
+func TestTableRemoteHook(t *testing.T) {
+	tab := NewTable(64)
+	rem := &fakeRemote{}
+	tab.SetRemote(rem, 4)
+
+	// Below the depth gate: miss stays local, no remote probe.
+	if _, _, _, _, ok := tab.ProbeAt(100, 3); ok || len(rem.probes) != 0 {
+		t.Fatalf("shallow miss leaked to remote: probes=%v", rem.probes)
+	}
+	// At the gate: a miss issues a remote probe.
+	if _, _, _, _, ok := tab.ProbeAt(100, 4); ok {
+		t.Fatal("phantom hit")
+	}
+	if len(rem.probes) != 1 || rem.probes[0] != 100 {
+		t.Fatalf("deep miss did not probe remote: %v", rem.probes)
+	}
+
+	// Deep store forwards; shallow store does not.
+	tab.StoreShared(100, 5, 6, BoundExact, 1)
+	tab.StoreShared(200, 7, 2, BoundExact, 0)
+	if len(rem.stores) != 1 || rem.stores[0] != 100 {
+		t.Fatalf("store forwarding wrong: %v", rem.stores)
+	}
+
+	// A sufficient local entry suppresses the remote probe...
+	rem.probes = nil
+	if v, _, _, _, ok := tab.ProbeAt(100, 5); !ok || v != 5 {
+		t.Fatalf("local hit lost: ok=%v v=%d", ok, v)
+	}
+	if len(rem.probes) != 0 {
+		t.Fatalf("sufficient local entry still probed remote: %v", rem.probes)
+	}
+	// ...but a too-shallow local entry still asks the remote for better.
+	if v, _, _, _, ok := tab.ProbeAt(100, 8); !ok || v != 5 {
+		t.Fatalf("local hit lost at depth 8: ok=%v v=%d", ok, v)
+	}
+	if len(rem.probes) != 1 {
+		t.Fatalf("shallow local entry did not probe remote: %v", rem.probes)
+	}
+
+	// Plain Store never forwards — the remote layer installs replies with
+	// it, and forwarding there would echo entries back and forth.
+	tab.Store(300, 9, 9, BoundExact, 0)
+	if len(rem.stores) != 1 {
+		t.Fatalf("plain Store forwarded: %v", rem.stores)
+	}
+
+	// Detach: traffic stops, local behaviour intact.
+	tab.SetRemote(nil, 0)
+	tab.ProbeAt(999, 9)
+	tab.StoreShared(999, 1, 9, BoundExact, 0)
+	if len(rem.probes) != 1 || len(rem.stores) != 1 {
+		t.Fatalf("detached remote still saw traffic: %v %v", rem.probes, rem.stores)
+	}
+
+	// Nil table: every entry point is a no-op, never a panic.
+	var nilTab *Table
+	nilTab.SetRemote(rem, 0)
+	nilTab.ProbeAt(1, 9)
+	nilTab.StoreShared(1, 1, 9, BoundExact, 0)
+}

@@ -1,0 +1,67 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecErrorPaths holds every rejection branch of ParseSpec to
+// two properties TestParseSpec's err-only sweep does not: the message
+// must name the offending knob (an operator typing a 7-knob fault spec
+// into a CI variable debugs from this string alone), and near-miss
+// values on the range boundaries must land on the right side.
+func TestParseSpecErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string // substring the error must carry
+	}{
+		{"bare key", "drop", "not key=value"},
+		{"empty value", "drop=", "probability"},
+		{"probability above one", "dup=1.0001", "dup"},
+		{"probability negative", "reorder=-0.1", "reorder"},
+		{"probability not a number", "drop=lots", "drop"},
+		{"delay zero", "delay=0s", "positive duration"},
+		{"delay negative", "delay=-2ms", "positive duration"},
+		{"delay not a duration", "delay=fast", "delay"},
+		{"crash missing at", "crash=3", "crash"},
+		{"crash negative proc", "crash=-1@5ms", "crash"},
+		{"crash bad time", "crash=1@soon", "crash"},
+		{"stall missing duration", "stall=1@5ms", "stall"},
+		{"stall zero duration", "stall=1@5ms+0s", "positive duration"},
+		{"stall bad start", "stall=x@5ms+1ms", "stall"},
+		{"seed not integer", "seed=1.5", "seed"},
+		{"seed empty", "seed=", "seed"},
+		{"unknown knob", "wibble=1", "unknown key"},
+		{"unknown knob names known set", "wibble=1", "drop dup reorder"},
+		{"reorder without jitter bound", "reorder=0.1", "delay"},
+		{"delayp without delay", "delayp=0.5", "delayp"},
+		{"bad knob after good ones", "drop=0.1,dup=0.1,oops=1", "oops"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ParseSpec(%q) error %q does not mention %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+
+	// Boundary values that must parse: the closed interval ends and
+	// whitespace/empty-part tolerance (trailing comma, padded parts).
+	for _, good := range []string{
+		"",
+		"drop=0",
+		"drop=1",
+		"delay=1ns",
+		"crash=0@0s",
+		" drop=0.5 , dup=0.25 ,",
+	} {
+		if _, err := ParseSpec(good); err != nil {
+			t.Errorf("ParseSpec(%q) rejected: %v", good, err)
+		}
+	}
+}

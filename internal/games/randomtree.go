@@ -55,6 +55,11 @@ func (p RandomTree) child(i int) RandomTree {
 	return RandomTree{Seed: mix64(p.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1), Branch: p.Branch}
 }
 
+// Child returns the i'th child node. Exported for the serving tier's
+// position expander, which needs to name children by their canonical
+// "seed:branch" strings without searching them.
+func (p RandomTree) Child(i int) RandomTree { return p.child(i) }
+
 // Moves returns the children. The tree is infinite — the search horizon
 // (depth) bounds every game on it.
 func (p RandomTree) Moves() []engine.Position {

@@ -1,0 +1,131 @@
+package msgpass
+
+// WireCodec serializes the reliable protocol's frames for a transport
+// that carries bytes instead of in-memory values (internal/transport's
+// TCP Network). It exists because everything a frame carries is plain
+// data — tree.NodeID is an int32, values are int8 — so the exact
+// protocol that runs over the in-memory faultnet can cross process
+// boundaries without change: same acks, same retransmission, same
+// fencing. The codec satisfies transport.Codec structurally.
+//
+// Layout (big endian):
+//
+//	uint8   wire kind (data/ack/beat)
+//	uint64  sequence number
+//	int32   sending processor
+//	int32   destination level (levelCtrl for processor-addressed)
+//	uint8   message type
+//	int32   node id
+//	int8    value
+//	int64   sentNs
+//	uint8   0 = no reassign payload; 1 = followed by:
+//	int32   dead processor
+//	int32   adopter processor
+//	uint16  level count, then that many int32 levels
+//
+// Decode must never panic on arbitrary bytes: a socket peer can write
+// anything.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gametree/internal/tree"
+)
+
+// WireCodec is stateless; the zero value is ready to use.
+type WireCodec struct{}
+
+const wireFixedLen = 1 + 8 + 4 + 4 + 1 + 4 + 1 + 8 + 1
+
+var (
+	errWirePayload = errors.New("msgpass: payload is not a protocol frame")
+	errWireShort   = errors.New("msgpass: truncated wire frame")
+)
+
+// Encode renders one protocol frame to bytes. It rejects payloads of any
+// other type — the reliable transport is the only legal sender.
+func (WireCodec) Encode(payload any) ([]byte, error) {
+	f, ok := payload.(frame)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", errWirePayload, payload)
+	}
+	n := wireFixedLen
+	if f.m.ctrl != nil {
+		n += 4 + 4 + 2 + 4*len(f.m.ctrl.levels)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, byte(f.kind))
+	b = binary.BigEndian.AppendUint64(b, f.seq)
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(f.from)))
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(f.level)))
+	b = append(b, byte(f.m.typ))
+	b = binary.BigEndian.AppendUint32(b, uint32(f.m.v))
+	b = append(b, byte(f.m.val))
+	b = binary.BigEndian.AppendUint64(b, uint64(f.m.sentNs))
+	if f.m.ctrl == nil {
+		return append(b, 0), nil
+	}
+	c := f.m.ctrl
+	if len(c.levels) > 0xffff {
+		return nil, fmt.Errorf("msgpass: reassign carries %d levels", len(c.levels))
+	}
+	b = append(b, 1)
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(c.dead)))
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(c.adopter)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c.levels)))
+	for _, lv := range c.levels {
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(lv)))
+	}
+	return b, nil
+}
+
+// Decode is the inverse of Encode. Trailing garbage, truncation, and
+// absurd level counts are errors, not panics.
+func (WireCodec) Decode(data []byte) (any, error) {
+	if len(data) < wireFixedLen {
+		return nil, errWireShort
+	}
+	var f frame
+	f.kind = wireKind(data[0])
+	f.seq = binary.BigEndian.Uint64(data[1:])
+	f.from = int(int32(binary.BigEndian.Uint32(data[9:])))
+	f.level = int(int32(binary.BigEndian.Uint32(data[13:])))
+	f.m.typ = msgType(data[17])
+	f.m.v = tree.NodeID(binary.BigEndian.Uint32(data[18:]))
+	f.m.val = int8(data[22])
+	f.m.sentNs = int64(binary.BigEndian.Uint64(data[23:]))
+	hasCtrl := data[31]
+	rest := data[wireFixedLen:]
+	switch hasCtrl {
+	case 0:
+		if len(rest) != 0 {
+			return nil, errWireShort
+		}
+		return f, nil
+	case 1:
+		if len(rest) < 10 {
+			return nil, errWireShort
+		}
+		c := &reassignCmd{
+			dead:    int(int32(binary.BigEndian.Uint32(rest))),
+			adopter: int(int32(binary.BigEndian.Uint32(rest[4:]))),
+		}
+		count := int(binary.BigEndian.Uint16(rest[8:]))
+		rest = rest[10:]
+		if len(rest) != 4*count {
+			return nil, errWireShort
+		}
+		if count > 0 {
+			c.levels = make([]int, count)
+			for i := range c.levels {
+				c.levels[i] = int(int32(binary.BigEndian.Uint32(rest[4*i:])))
+			}
+		}
+		f.m.ctrl = c
+		return f, nil
+	default:
+		return nil, fmt.Errorf("msgpass: bad reassign marker %d", hasCtrl)
+	}
+}

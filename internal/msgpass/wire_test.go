@@ -1,0 +1,155 @@
+package msgpass
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gametree/internal/faultnet"
+	nettrans "gametree/internal/transport"
+	"gametree/internal/tree"
+)
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	frames := []frame{
+		{},
+		{kind: wireData, seq: 1, from: 0, level: 3,
+			m: message{typ: msgPSolve, v: 12345, val: 1, sentNs: 987654321}},
+		{kind: wireAck, seq: 1 << 40, from: 3},
+		{kind: wireBeat, from: 2, level: -1},
+		{kind: wireData, seq: 9, from: 1, level: levelCtrl,
+			m: message{typ: msgReassign, v: -1, val: -1, sentNs: -5,
+				ctrl: &reassignCmd{dead: 2, adopter: 0, levels: []int{0, 3, 7}}}},
+		{kind: wireData, seq: 2, from: -1, level: levelCtrl,
+			m: message{typ: msgReassign, ctrl: &reassignCmd{dead: 1, adopter: -1}}},
+	}
+	for i, f := range frames {
+		b, err := WireCodec{}.Encode(f)
+		if err != nil {
+			t.Fatalf("frame %d: encode: %v", i, err)
+		}
+		got, err := WireCodec{}.Decode(b)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame %d: round trip\n got %+v\nwant %+v", i, got, f)
+		}
+	}
+}
+
+func TestWireCodecErrors(t *testing.T) {
+	if _, err := (WireCodec{}).Encode("not a frame"); err == nil {
+		t.Fatal("encode accepted a non-frame payload")
+	}
+
+	good, err := WireCodec{}.Encode(frame{kind: wireData, seq: 1,
+		m: message{ctrl: &reassignCmd{dead: 1, adopter: 2, levels: []int{4}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation of a valid frame must error, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := (WireCodec{}).Decode(good[:n]); err == nil {
+			t.Fatalf("decode accepted a %d-byte prefix of a %d-byte frame", n, len(good))
+		}
+	}
+	if _, err := (WireCodec{}).Decode(append(append([]byte{}, good...), 0xee)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+	bad := append([]byte{}, good...)
+	bad[wireFixedLen-1] = 7 // reassign marker must be 0 or 1
+	if _, err := (WireCodec{}).Decode(bad); err == nil {
+		t.Fatal("decode accepted a bad reassign marker")
+	}
+}
+
+// tcpChaosNet composes the seeded fault injector over a real loopback
+// TCP transport carrying protocol frames through WireCodec: the packets
+// that survive injection cross actual sockets as bytes.
+func tcpChaosNet(t *testing.T, procs int, cfg faultnet.Config) faultnet.Network {
+	t.Helper()
+	local := []int{-1} // the monitor/heartbeat sink lives in-process too
+	for i := 0; i < procs; i++ {
+		local = append(local, i)
+	}
+	lower, err := nettrans.New(nettrans.Config{
+		Listen:   "127.0.0.1:0",
+		Local:    local,
+		Loopback: true, // force every packet over the socket
+		Codec:    WireCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nettrans.Chaos(faultnet.NewInjector(cfg), lower)
+}
+
+// TestChaosMatrixOverTCP is the distribution acceptance gate: the exact
+// regression matrix of TestChaosMatrix, with the in-memory network
+// replaced by injector-over-TCP. Every protocol frame is serialized,
+// crosses a real socket, and is decoded on the far side; the root value
+// must still be exact under every fault mix.
+func TestChaosMatrixOverTCP(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, sc := range chaosScenarios() {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				tr := tree.IIDNor(2, sc.depth, 0.5, seed)
+				want := tr.Evaluate()
+				cfg := sc.cfg(seed)
+				if err := cfg.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				net := tcpChaosNet(t, 4, cfg)
+				m := runChaos(t, tr, Options{
+					Processors:       4,
+					WorkPerExpansion: sc.work,
+					Net:              net,
+					Protocol:         chaosProtocol(),
+				}, 2*time.Minute)
+				if m.Value != want {
+					t.Fatalf("root value %d under %s faults over TCP, want %d (protocol %+v, net %v)",
+						m.Value, sc.name, want, m.Protocol, m.Net)
+				}
+				if sc.wantDeaths && m.Protocol.Deaths == 0 {
+					t.Fatalf("scenario %s expected at least one declared death; protocol %+v net %v",
+						sc.name, m.Protocol, m.Net)
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolOverBareTCP drops the injector entirely: the reliable
+// protocol over nothing but sockets. Exactness and termination must hold
+// with zero declared deaths.
+func TestProtocolOverBareTCP(t *testing.T) {
+	lower, err := nettrans.New(nettrans.Config{
+		Listen:   "127.0.0.1:0",
+		Local:    []int{-1, 0, 1, 2},
+		Loopback: true,
+		Codec:    WireCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.IIDNor(2, 9, 0.5, 11)
+	want := tr.Evaluate()
+	m := runChaos(t, tr, Options{
+		Processors: 3,
+		Net:        lower,
+		Protocol:   chaosProtocol(),
+	}, time.Minute)
+	if m.Value != want {
+		t.Fatalf("root value %d over bare TCP, want %d", m.Value, want)
+	}
+	if m.Protocol.Deaths != 0 {
+		t.Fatalf("declared %d deaths on a healthy TCP loopback", m.Protocol.Deaths)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"gametree/internal/engine"
+)
+
+// fakeBackend counts searches and returns a deterministic value.
+type fakeBackend struct {
+	calls atomic.Int64
+	fail  atomic.Bool
+}
+
+func (b *fakeBackend) Search(ctx context.Context, game, position string, depth int) (engine.Result, error) {
+	b.calls.Add(1)
+	if b.fail.Load() {
+		return engine.Result{}, errors.New("backend exploded")
+	}
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, engine.ErrCancelled
+	}
+	return engine.Result{Value: 42, Best: 1, Nodes: 7}, nil
+}
+
+// TestBackendModeServesAndCaches: with a Backend configured the server
+// builds no local pools, routes leader searches to the backend, and the
+// cache and coalescing layers work unchanged in front of it.
+func TestBackendModeServesAndCaches(t *testing.T) {
+	b := &fakeBackend{}
+	s, ts := newTestServer(t, Config{Pools: 2, Backend: b})
+	if s.Table() != nil {
+		t.Error("backend mode built a local table")
+	}
+
+	code, ok, _, _ := postSearch(t, ts.URL, SearchRequest{Game: "ttt", Position: "", Depth: 3})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ok.Value != 42 || ok.Best != 1 || ok.Nodes != 7 {
+		t.Errorf("backend result not passed through: %+v", ok)
+	}
+	if got := b.calls.Load(); got != 1 {
+		t.Fatalf("backend called %d times, want 1", got)
+	}
+
+	// Second identical request: served from cache, backend untouched.
+	code, ok, _, _ = postSearch(t, ts.URL, SearchRequest{Game: "ttt", Position: "", Depth: 3})
+	if code != http.StatusOK || !ok.Cached {
+		t.Errorf("repeat not cached: code=%d cached=%v", code, ok.Cached)
+	}
+	if got := b.calls.Load(); got != 1 {
+		t.Errorf("cache miss went to backend: calls=%d", got)
+	}
+
+	// Invalid positions are rejected before reaching the backend.
+	code, _, _, _ = postSearch(t, ts.URL, SearchRequest{Game: "ttt", Position: "XX", Depth: 3})
+	if code != http.StatusBadRequest {
+		t.Errorf("bad position got %d", code)
+	}
+	if got := b.calls.Load(); got != 1 {
+		t.Errorf("invalid request reached backend: calls=%d", got)
+	}
+
+	// Backend failure surfaces as 500, not a hang.
+	b.fail.Store(true)
+	code, _, fail, _ := postSearch(t, ts.URL, SearchRequest{Game: "ttt", Position: "X........", Depth: 3})
+	if code != http.StatusInternalServerError {
+		t.Errorf("backend error got %d (%s)", code, fail.Error)
+	}
+}
+
+func TestBackendModeHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pools: 1, Backend: &fakeBackend{}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Backend != "shard" {
+		t.Errorf("healthz backend = %q, want shard", body.Backend)
+	}
+}

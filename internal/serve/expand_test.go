@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"gametree/internal/engine"
+)
+
+// hashOf keys a position for identity comparison: Hash when the game
+// supports it, else the String form.
+func hashOf(p engine.Position) string {
+	if h, ok := p.(engine.Hasher); ok {
+		return fmt.Sprintf("h%x", h.Hash())
+	}
+	return fmt.Sprintf("s%v", p)
+}
+
+// TestExpandersMatchMoves is the contract the shard tier's Best-index
+// fidelity rests on: for every registered game, expanding a canonical
+// position yields exactly the positions of Moves(), in Moves() order.
+func TestExpandersMatchMoves(t *testing.T) {
+	cases := []struct{ game, pos string }{
+		{"ttt", ""},             // empty board
+		{"ttt", "XOX.O..X."},    // midgame
+		{"ttt", "XXXOO...."},    // won: terminal
+		{"ttt", "XOXXOOOXX"},    // full board: terminal
+		{"connect4", ""},        // empty board, center-first ordering
+		{"connect4", "333"},     // stacked center
+		{"connect4", "3344"},    // midgame
+		{"connect4", "3434343"}, // vertical win for player 1: terminal
+		{"random", "42"},
+		{"random", "7:3"},
+		{"random", "18446744073709551615:16"}, // max seed, max branch
+	}
+	for _, tc := range cases {
+		t.Run(tc.game+"/"+tc.pos, func(t *testing.T) {
+			pos, key, err := ParsePosition(tc.game, tc.pos)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			canon := key[len(tc.game)+1:]
+			children, err := Expand(tc.game, canon)
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			moves := pos.Moves()
+			if len(children) != len(moves) {
+				t.Fatalf("expander gives %d children, Moves gives %d", len(children), len(moves))
+			}
+			for i, c := range children {
+				got, childKey, err := ParsePosition(tc.game, c)
+				if err != nil {
+					t.Fatalf("child %d %q does not parse: %v", i, c, err)
+				}
+				if childKey != tc.game+"|"+c {
+					t.Errorf("child %d %q is not canonical: key %q", i, c, childKey)
+				}
+				if hashOf(got) != hashOf(moves[i]) {
+					t.Errorf("child %d: expander gives %v, Moves gives %v", i, got, moves[i])
+				}
+			}
+		})
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	if _, err := Expand("nosuch", ""); err == nil {
+		t.Error("unknown game expanded")
+	}
+	if _, err := Expand("ttt", "XX"); err == nil {
+		t.Error("short ttt board expanded")
+	}
+	if _, err := Expand("connect4", "9"); err == nil {
+		t.Error("out-of-range connect4 column expanded")
+	}
+	if _, err := Expand("random", "notanumber"); err == nil {
+		t.Error("bad random seed expanded")
+	}
+}

@@ -79,6 +79,21 @@ type Config struct {
 	// shard ranges) and the serve counter section for /metrics. Nil
 	// creates a private recorder so /metrics always works.
 	Telemetry *telemetry.Recorder
+	// Backend, when non-nil, replaces the resident local pools with an
+	// external search executor — the shard coordinator, in the
+	// distributed deployment. The request path is unchanged (admission,
+	// cache, coalescing, queue, deadline), with Pools bounding the
+	// number of concurrently running backend searches; no local table or
+	// pools are built.
+	Backend Backend
+}
+
+// Backend runs one search to completion and returns the exact result.
+// Implementations must honour ctx cancellation. The shard tier's
+// Coordinator satisfies this interface; nil selects the built-in local
+// pool set.
+type Backend interface {
+	Search(ctx context.Context, game, position string, depth int) (engine.Result, error)
 }
 
 func (c *Config) applyDefaults() {
@@ -180,18 +195,26 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{cfg: cfg, start: time.Now()}
-	s.table = engine.NewTable(cfg.TableEntries)
 	s.cache = newResultCache(cfg.CacheEntries)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.free = make(chan *engine.Pool, cfg.Pools)
-	workers := 0
-	for i := 0; i < cfg.Pools; i++ {
-		p := engine.NewPoolOpt(engine.SearchOptions{
-			Workers: cfg.Workers, Table: s.table, Telemetry: cfg.Telemetry,
-			SplitHorizon: cfg.SplitHorizon, SpineOnly: cfg.SpineOnly,
-		}, i*workers)
-		workers = p.Workers() // resolve the 0 = GOMAXPROCS default once
-		s.free <- p
+	if cfg.Backend != nil {
+		// Remote backend: the free channel carries nil tokens that bound
+		// concurrent backend searches exactly as pools bound local ones.
+		for i := 0; i < cfg.Pools; i++ {
+			s.free <- nil
+		}
+	} else {
+		s.table = engine.NewTable(cfg.TableEntries)
+		workers := 0
+		for i := 0; i < cfg.Pools; i++ {
+			p := engine.NewPoolOpt(engine.SearchOptions{
+				Workers: cfg.Workers, Table: s.table, Telemetry: cfg.Telemetry,
+				SplitHorizon: cfg.SplitHorizon, SpineOnly: cfg.SpineOnly,
+			}, i*workers)
+			workers = p.Workers() // resolve the 0 = GOMAXPROCS default once
+			s.free <- p
+		}
 	}
 	cfg.Telemetry.AddPromSection(s.stats.writeProm)
 	s.mux = http.NewServeMux()
@@ -334,7 +357,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	sctx, cancel := context.WithTimeout(s.baseCtx, budget)
 	go func() {
 		defer cancel()
-		res, err := pool.Search(sctx, pos, req.Depth)
+		var res engine.Result
+		var err error
+		if pool != nil {
+			res, err = pool.Search(sctx, pos, req.Depth)
+		} else {
+			res, err = s.cfg.Backend.Search(sctx, req.Game, req.Position, req.Depth)
+		}
 		s.free <- pool
 		if err == nil {
 			s.cache.put(key, res)
@@ -423,8 +452,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// 503 takes a draining instance out of load-balancer rotation.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	backend := "local"
+	if s.cfg.Backend != nil {
+		backend = "shard"
+	}
 	writeJSON(w, code, map[string]any{
 		"status":      status,
+		"backend":     backend,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"pools":       s.cfg.Pools,
 		"queue_depth": s.cfg.QueueDepth,
@@ -470,7 +504,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	for i := 0; i < s.cfg.Pools; i++ {
 		select {
 		case p := <-s.free:
-			p.Close()
+			if p != nil {
+				p.Close()
+			}
 		case <-ctx.Done():
 			if err == nil {
 				err = ctx.Err()
@@ -478,7 +514,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			remaining := s.cfg.Pools - i
 			go func() {
 				for j := 0; j < remaining; j++ {
-					(<-s.free).Close()
+					if p := <-s.free; p != nil {
+						p.Close()
+					}
 				}
 			}()
 			return err

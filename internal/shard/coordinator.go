@@ -1,0 +1,421 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gametree/internal/engine"
+	"gametree/internal/faultnet"
+	"gametree/internal/serve"
+	"gametree/internal/telemetry"
+)
+
+// PeerSetter is the optional transport capability the tier uses to
+// spread addresses at runtime: the TCP transport implements it, the
+// in-memory fault injector does not need it.
+type PeerSetter interface {
+	SetPeer(proc int, addr string)
+}
+
+// Config parameterizes a Coordinator. Net and Workers are required.
+type Config struct {
+	// Net carries the shard protocol; the coordinator calls Start and
+	// owns Close.
+	Net faultnet.Network
+	// Self is this coordinator's processor id (conventionally 0).
+	Self int
+	// Workers lists the worker processor ids; they form the consistent-
+	// hash ring for both task routing and TT ownership.
+	Workers []int
+	// ExpandDepth is how many plies the coordinator expands before
+	// shipping the frontier as tasks (default 1: the root's children).
+	ExpandDepth int
+	// TaskTimeout is how long a dispatched task may stay unanswered
+	// before it is reissued to the next live ring successor (default 2s).
+	TaskTimeout time.Duration
+	// DeadAfter marks a worker dead when its last ping is older than
+	// this (default 3s). Dead workers are routed around.
+	DeadAfter time.Duration
+	// HelloEvery paces the peer-table broadcast (default 1s).
+	HelloEvery time.Duration
+	// PeerAddrs maps processor ids to transport addresses; announced in
+	// hellos so workers can open worker-to-worker TT streams. Optional.
+	PeerAddrs map[int]string
+	// Telemetry records ShardTasks/ShardReissues and the shard_rpc_ns
+	// round-trip histogram on its shard 0. Optional.
+	Telemetry *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExpandDepth <= 0 {
+		c.ExpandDepth = 1
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * time.Second
+	}
+	if c.HelloEvery <= 0 {
+		c.HelloEvery = time.Second
+	}
+	return c
+}
+
+// pendingTask is one dispatched leaf awaiting its result.
+type pendingTask struct {
+	env    *Envelope
+	key    string // routing key: "game|pos"
+	to     int
+	sentAt time.Time
+	first  time.Time // first dispatch, for the RPC histogram
+	done   chan struct{}
+	res    *Envelope
+}
+
+// Coordinator expands root positions, routes the frontier to workers by
+// consistent hash, reissues timed-out tasks to ring successors, and
+// folds worker results back into exact root values with the negamax
+// rule. It implements the serve.Backend contract (Search), so gtserve
+// can swap it in for the local pool set.
+type Coordinator struct {
+	cfg  Config
+	ring *Ring
+	tm   *telemetry.Shard
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	pending  map[uint64]*pendingTask
+	lastPing map[int]time.Time
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+	isClose bool
+	wg      sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator over an un-started network. Call
+// Start before Search.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Workers),
+		tm:       cfg.Telemetry.Shard(0),
+		pending:  make(map[uint64]*pendingTask),
+		lastPing: make(map[int]time.Time),
+		closed:   make(chan struct{}),
+	}
+	return c
+}
+
+// Start installs the delivery callback and spawns the hello and reissue
+// loops. Workers start optimistic: every ring member is presumed alive
+// until DeadAfter elapses without a ping.
+func (c *Coordinator) Start() {
+	now := time.Now()
+	c.mu.Lock()
+	for _, w := range c.cfg.Workers {
+		c.lastPing[w] = now
+	}
+	c.mu.Unlock()
+	c.cfg.Net.Start(c.deliver)
+	c.sendHellos()
+	c.wg.Add(2)
+	go c.helloLoop()
+	go c.reissueLoop()
+}
+
+// Close stops the loops and closes the network. Idempotent. In-flight
+// Searches return ErrClosed.
+func (c *Coordinator) Close() {
+	c.closeMu.Lock()
+	if c.isClose {
+		c.closeMu.Unlock()
+		return
+	}
+	c.isClose = true
+	close(c.closed)
+	c.closeMu.Unlock()
+	c.wg.Wait()
+	c.cfg.Net.Close()
+}
+
+// ErrClosed is returned by Search once the coordinator is closed.
+var ErrClosed = fmt.Errorf("shard: coordinator closed")
+
+func (c *Coordinator) deliver(pkt faultnet.Packet) {
+	env, ok := pkt.Payload.(*Envelope)
+	if !ok {
+		return
+	}
+	switch env.Kind {
+	case KindResult:
+		c.mu.Lock()
+		p := c.pending[env.ID]
+		if p != nil {
+			delete(c.pending, env.ID)
+			p.res = env
+			close(p.done)
+		}
+		c.mu.Unlock()
+		if p != nil && c.tm != nil {
+			c.tm.Hist[telemetry.HistShardRPCNs].Observe(time.Since(p.first).Nanoseconds())
+		}
+	case KindPing:
+		c.mu.Lock()
+		c.lastPing[pkt.From] = time.Now()
+		c.mu.Unlock()
+	}
+}
+
+// alive reports ping freshness. Callers hold c.mu.
+func (c *Coordinator) aliveLocked(proc int, now time.Time) bool {
+	last, ok := c.lastPing[proc]
+	return ok && now.Sub(last) < c.cfg.DeadAfter
+}
+
+// Alive reports whether a worker is currently considered live.
+func (c *Coordinator) Alive(proc int) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked(proc, now)
+}
+
+func (c *Coordinator) helloLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HelloEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.sendHellos()
+		}
+	}
+}
+
+func (c *Coordinator) sendHellos() {
+	peers := make(map[string]string, len(c.cfg.PeerAddrs))
+	for p, a := range c.cfg.PeerAddrs {
+		peers[strconv.Itoa(p)] = a
+	}
+	for _, w := range c.cfg.Workers {
+		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: w, Payload: &Envelope{
+			Kind:   KindHello,
+			Peers:  peers,
+			SentNs: time.Now().UnixNano(),
+		}})
+	}
+}
+
+func (c *Coordinator) reissueLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.TaskTimeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.reissueStale()
+		}
+	}
+}
+
+// reissueStale re-sends every pending task older than TaskTimeout,
+// preferring a live processor other than the one that went quiet; with
+// nobody else alive it retries the same one (the transport may simply
+// have dropped the frame).
+func (c *Coordinator) reissueStale() {
+	now := time.Now()
+	type resend struct {
+		env *Envelope
+		to  int
+	}
+	var out []resend
+	c.mu.Lock()
+	for _, p := range c.pending {
+		if now.Sub(p.sentAt) < c.cfg.TaskTimeout {
+			continue
+		}
+		prev := p.to
+		to, ok := c.ring.OwnerLiveString(p.key, func(q int) bool {
+			return q != prev && c.aliveLocked(q, now)
+		})
+		if !ok {
+			to, ok = c.ring.OwnerLiveString(p.key, func(q int) bool {
+				return c.aliveLocked(q, now)
+			})
+			if !ok {
+				to = prev // everyone looks dead: retry where it was
+			}
+		}
+		p.to = to
+		p.sentAt = now
+		// Resend a copy: the original envelope may still be in the hands
+		// of an in-process delivery path.
+		env := *p.env
+		env.SentNs = now.UnixNano()
+		out = append(out, resend{env: &env, to: to})
+	}
+	c.mu.Unlock()
+	for _, r := range out {
+		if c.tm != nil {
+			c.tm.ShardReissues.Add(1)
+		}
+		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: r.to, Payload: r.env})
+	}
+}
+
+// expandNode is the coordinator's view of the tree above the task
+// frontier: either a leaf (a task shipped to a worker) or an interior
+// node folded locally.
+type expandNode struct {
+	children []*expandNode
+	task     *pendingTask
+}
+
+// buildTree expands (game, pos) for `plies` more levels. Terminal
+// positions and exhausted depth become leaves regardless of plies left.
+func (c *Coordinator) buildTree(game, pos string, depth, plies int) (*expandNode, []*pendingTask, error) {
+	if plies <= 0 || depth <= 0 {
+		leaf := c.newTask(game, pos, depth)
+		return &expandNode{task: leaf}, []*pendingTask{leaf}, nil
+	}
+	children, err := serve.Expand(game, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(children) == 0 {
+		leaf := c.newTask(game, pos, depth)
+		return &expandNode{task: leaf}, []*pendingTask{leaf}, nil
+	}
+	n := &expandNode{children: make([]*expandNode, len(children))}
+	var leaves []*pendingTask
+	for i, ch := range children {
+		sub, subLeaves, err := c.buildTree(game, ch, depth-1, plies-1)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.children[i] = sub
+		leaves = append(leaves, subLeaves...)
+	}
+	return n, leaves, nil
+}
+
+func (c *Coordinator) newTask(game, pos string, depth int) *pendingTask {
+	id := c.nextID.Add(1)
+	return &pendingTask{
+		env:  &Envelope{Kind: KindTask, ID: id, Game: game, Pos: pos, Depth: depth},
+		key:  game + "|" + pos,
+		done: make(chan struct{}),
+	}
+}
+
+// fold computes the negamax value of the expansion tree from completed
+// leaf results: interior value = max over children of -child value, with
+// the FIRST strict improvement winning — the same rule a sequential
+// full-window negamax applies, so both the value and the root move index
+// match engine.Search exactly.
+func fold(n *expandNode) (value int32, best int, nodes int64, err error) {
+	if n.task != nil {
+		r := n.task.res
+		if r.Err != "" {
+			return 0, -1, 0, fmt.Errorf("shard: worker error: %s", r.Err)
+		}
+		return r.Value, r.Best, r.Nodes, nil
+	}
+	best = -1
+	first := true
+	for i, ch := range n.children {
+		v, _, cn, cerr := fold(ch)
+		if cerr != nil {
+			return 0, -1, 0, cerr
+		}
+		nodes += cn
+		if first || -v > value {
+			value, best, first = -v, i, false
+		}
+	}
+	return value, best, nodes, nil
+}
+
+// Search evaluates (game, position) to depth and returns the exact
+// sequential result: the root is expanded ExpandDepth plies, the
+// frontier searched on workers with full windows, and the values folded
+// back with negamax. Cancelling ctx abandons the outstanding tasks
+// (workers finish and their results are dropped as unknown IDs).
+func (c *Coordinator) Search(ctx context.Context, game, position string, depth int) (engine.Result, error) {
+	_, key, err := serve.ParsePosition(game, position)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	canon := key[len(game)+1:]
+
+	root, leaves, err := c.buildTree(game, canon, depth, c.cfg.ExpandDepth)
+	if err != nil {
+		return engine.Result{}, err
+	}
+
+	// Dispatch every leaf to the live owner of its position key.
+	now := time.Now()
+	c.mu.Lock()
+	for _, p := range leaves {
+		to, _ := c.ring.OwnerLiveString(p.key, func(q int) bool { return c.aliveLocked(q, now) })
+		p.to = to
+		p.sentAt = now
+		p.first = now
+		p.env.SentNs = now.UnixNano()
+		c.pending[p.env.ID] = p
+	}
+	c.mu.Unlock()
+	for _, p := range leaves {
+		if c.tm != nil {
+			c.tm.ShardTasks.Add(1)
+		}
+		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: p.to, Payload: p.env})
+	}
+
+	// Await every leaf (reissueLoop handles retries meanwhile).
+	for _, p := range leaves {
+		select {
+		case <-p.done:
+		case <-ctx.Done():
+			c.abandon(leaves)
+			return engine.Result{}, engine.ErrCancelled
+		case <-c.closed:
+			c.abandon(leaves)
+			return engine.Result{}, ErrClosed
+		}
+	}
+
+	value, best, nodes, err := fold(root)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return engine.Result{Value: value, Best: best, Nodes: nodes}, nil
+}
+
+func (c *Coordinator) abandon(leaves []*pendingTask) {
+	c.mu.Lock()
+	for _, p := range leaves {
+		delete(c.pending, p.env.ID)
+	}
+	c.mu.Unlock()
+}
+
+// Pending reports the number of outstanding tasks (for tests and the
+// healthz surface).
+func (c *Coordinator) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

@@ -1,0 +1,93 @@
+package shard
+
+// The shard tier's wire protocol: a single JSON envelope for every
+// message kind, carried as transport payloads via Codec. JSON (rather
+// than the hand-packed binary of msgpass.WireCodec) because shard
+// messages are low-rate — tasks, results, liveness and deep-TT traffic,
+// not per-node search messages — and the operational win of being able
+// to read a capture with jq outweighs the bytes.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message kinds.
+const (
+	// KindHello is coordinator → worker: announces the full peer address
+	// table so workers can open worker-to-worker TT streams, and doubles
+	// as the coordinator's own liveness beacon. Sent at startup and
+	// periodically.
+	KindHello = "hello"
+	// KindTask is coordinator → worker: search Pos (canonical, in Game)
+	// to Depth and reply with a result carrying the same ID.
+	KindTask = "task"
+	// KindResult is worker → coordinator: the exact value of a task.
+	KindResult = "result"
+	// KindPing is worker → coordinator liveness.
+	KindPing = "ping"
+	// KindTTProbe is worker → worker: ask the owner of Hash for its
+	// entry. Answered (with KindTTReply) only on a hit.
+	KindTTProbe = "ttprobe"
+	// KindTTReply is the owner's entry for a probed hash.
+	KindTTReply = "ttreply"
+	// KindTTStore is worker → worker: install a deep entry at its owner.
+	KindTTStore = "ttstore"
+)
+
+// Envelope is the one message shape of the shard protocol; Kind selects
+// which fields matter. Zero fields marshal away.
+type Envelope struct {
+	Kind string `json:"kind"`
+
+	// Task identity and definition (task/result).
+	ID    uint64 `json:"id,omitempty"`
+	Game  string `json:"game,omitempty"`
+	Pos   string `json:"pos,omitempty"`
+	Depth int    `json:"depth,omitempty"`
+
+	// Result payload (result, ttreply/ttstore value carriage).
+	Value int32  `json:"value,omitempty"`
+	Best  int    `json:"best,omitempty"`
+	Nodes int64  `json:"nodes,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// Transposition-table traffic (ttprobe/ttreply/ttstore).
+	Hash uint64 `json:"hash,omitempty"`
+	Flag uint64 `json:"flag,omitempty"`
+
+	// Topology (hello): processor id → transport address.
+	Peers map[string]string `json:"peers,omitempty"`
+
+	// SentNs is the sender's clock at send time, echoed back in replies
+	// so the originator can observe round-trip latency without clock
+	// agreement between processes.
+	SentNs int64 `json:"sent_ns,omitempty"`
+}
+
+// Codec marshals *Envelope payloads for the transport. Implements
+// transport.Codec structurally.
+type Codec struct{}
+
+// Encode marshals an *Envelope.
+func (Codec) Encode(payload any) ([]byte, error) {
+	e, ok := payload.(*Envelope)
+	if !ok {
+		return nil, fmt.Errorf("shard: codec got %T, want *Envelope", payload)
+	}
+	return json.Marshal(e)
+}
+
+// Decode unmarshals an *Envelope, rejecting malformed or unknown-kind
+// frames so garbage off the wire never reaches the dispatch switch.
+func (Codec) Decode(data []byte) (any, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("shard: bad envelope: %w", err)
+	}
+	switch e.Kind {
+	case KindHello, KindTask, KindResult, KindPing, KindTTProbe, KindTTReply, KindTTStore:
+		return &e, nil
+	}
+	return nil, fmt.Errorf("shard: unknown envelope kind %q", e.Kind)
+}

@@ -1,0 +1,372 @@
+package shard
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"gametree/internal/engine"
+	"gametree/internal/faultnet"
+	"gametree/internal/serve"
+	"gametree/internal/telemetry"
+)
+
+// WorkerConfig parameterizes one worker process of the shard tier.
+type WorkerConfig struct {
+	// Net carries the shard protocol; the worker calls Start and owns
+	// Close.
+	Net faultnet.Network
+	// Self is this worker's processor id.
+	Self int
+	// Coordinator is the coordinator's processor id (conventionally 0).
+	Coordinator int
+	// Workers lists every worker id; the ring must match the
+	// coordinator's so both sides agree on TT ownership.
+	Workers []int
+	// PoolWorkers sizes the resident search pool (0 = GOMAXPROCS).
+	PoolWorkers int
+	// TableEntries sizes the local transposition table (0 disables it,
+	// which also disables the remote tier).
+	TableEntries int
+	// SplitHorizon and SpineOnly pass through to the search pool.
+	SplitHorizon int
+	SpineOnly    bool
+	// RemoteMinDepth gates the two-level table: probes and stores with
+	// remaining depth below it stay local (default 4).
+	RemoteMinDepth int
+	// RemoteWindow bounds in-flight remote probes; beyond it probes are
+	// skipped, never queued (default 256).
+	RemoteWindow int
+	// QueueLen bounds the inbound task queue (default 128); overflow
+	// tasks are dropped for the coordinator to reissue.
+	QueueLen int
+	// PingEvery paces liveness pings to the coordinator (default 500ms).
+	PingEvery time.Duration
+	// Telemetry records pool counters on shards 0..PoolWorkers-1 and the
+	// worker's remote-TT counters on shard PoolWorkers. Optional.
+	Telemetry *telemetry.Recorder
+
+	// DoneCache bounds the result-dedup cache (default 1024 results).
+	DoneCache int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.RemoteMinDepth <= 0 {
+		c.RemoteMinDepth = 4
+	}
+	if c.RemoteWindow <= 0 {
+		c.RemoteWindow = 256
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 128
+	}
+	if c.PingEvery <= 0 {
+		c.PingEvery = 500 * time.Millisecond
+	}
+	if c.DoneCache <= 0 {
+		c.DoneCache = 1024
+	}
+	return c
+}
+
+// Worker runs a resident search pool behind the shard protocol: tasks
+// arrive from the coordinator, results go back with the same ID
+// (re-answered from a bounded cache when a reissued duplicate arrives),
+// and the local transposition table participates in the two-level tier —
+// serving ttprobe/ttstore for hashes it owns, forwarding deep local
+// traffic to the owning shard through a bounded in-flight window that
+// never blocks the search hot path.
+type Worker struct {
+	cfg   WorkerConfig
+	ring  *Ring
+	table *engine.Table
+	pool  *engine.Pool
+	tm    *telemetry.Shard
+
+	tasks chan *Envelope
+
+	mu          sync.Mutex
+	inflight    map[uint64]bool
+	doneCache   map[uint64]*Envelope
+	doneOrder   []uint64
+	outstanding map[uint64]time.Time // remote probes in flight, by hash
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closeMu sync.Mutex
+	isClose bool
+}
+
+// NewWorker builds a worker over an un-started network. Call Start.
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	var table *engine.Table
+	if cfg.TableEntries > 0 {
+		table = engine.NewTable(cfg.TableEntries)
+	}
+	pool := engine.NewPoolOpt(engine.SearchOptions{
+		Workers:      cfg.PoolWorkers,
+		Table:        table,
+		Telemetry:    cfg.Telemetry,
+		SplitHorizon: cfg.SplitHorizon,
+		SpineOnly:    cfg.SpineOnly,
+	}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		cfg:         cfg,
+		ring:        NewRing(cfg.Workers),
+		table:       table,
+		pool:        pool,
+		tm:          cfg.Telemetry.Shard(pool.Workers()),
+		tasks:       make(chan *Envelope, cfg.QueueLen),
+		inflight:    make(map[uint64]bool),
+		doneCache:   make(map[uint64]*Envelope),
+		outstanding: make(map[uint64]time.Time),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	if table != nil {
+		table.SetRemote(remoteClient{w}, cfg.RemoteMinDepth)
+	}
+	return w
+}
+
+// Start installs the delivery callback, announces itself with a ping,
+// and spawns the task runner and ping loop.
+func (w *Worker) Start() {
+	w.cfg.Net.Start(w.deliver)
+	w.sendPing()
+	w.wg.Add(2)
+	go w.runLoop()
+	go w.pingLoop()
+}
+
+// Close cancels the in-flight search, stops the loops and closes the
+// network. Idempotent.
+func (w *Worker) Close() {
+	w.closeMu.Lock()
+	if w.isClose {
+		w.closeMu.Unlock()
+		return
+	}
+	w.isClose = true
+	w.closeMu.Unlock()
+	w.cancel()
+	if w.table != nil {
+		w.table.SetRemote(nil, 0)
+	}
+	w.pool.Close()
+	w.wg.Wait()
+	w.cfg.Net.Close()
+}
+
+// deliver runs on transport reader goroutines: every branch is bounded
+// work — map updates, a lock-free table probe, a non-blocking Send —
+// never a search and never a blocking queue put.
+func (w *Worker) deliver(pkt faultnet.Packet) {
+	env, ok := pkt.Payload.(*Envelope)
+	if !ok {
+		return
+	}
+	switch env.Kind {
+	case KindTask:
+		w.acceptTask(env)
+	case KindHello:
+		w.applyHello(env)
+	case KindTTProbe:
+		if w.table == nil {
+			return
+		}
+		if v, d, f, b, hit := w.table.Probe(env.Hash); hit {
+			w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: pkt.From, Payload: &Envelope{
+				Kind: KindTTReply, Hash: env.Hash,
+				Value: v, Depth: d, Flag: f, Best: b,
+				SentNs: env.SentNs,
+			}})
+		}
+	case KindTTReply:
+		w.mu.Lock()
+		sent, waiting := w.outstanding[env.Hash]
+		delete(w.outstanding, env.Hash)
+		w.mu.Unlock()
+		if !waiting {
+			return // late or duplicate reply; window already recycled
+		}
+		// Plain Store: installing a reply must not re-forward it.
+		w.table.Store(env.Hash, env.Value, env.Depth, env.Flag, env.Best)
+		if w.tm != nil {
+			w.tm.RemoteHits.Add(1)
+			w.tm.Hist[telemetry.HistShardRPCNs].Observe(time.Since(sent).Nanoseconds())
+		}
+	case KindTTStore:
+		if w.table != nil {
+			w.table.Store(env.Hash, env.Value, env.Depth, env.Flag, env.Best)
+		}
+	}
+}
+
+// acceptTask enqueues a task, re-answers completed duplicates from the
+// cache, ignores in-flight duplicates, and drops on queue overflow (the
+// coordinator's reissue covers the loss).
+func (w *Worker) acceptTask(env *Envelope) {
+	w.mu.Lock()
+	if res := w.doneCache[env.ID]; res != nil {
+		w.mu.Unlock()
+		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: res})
+		return
+	}
+	if w.inflight[env.ID] {
+		w.mu.Unlock()
+		return
+	}
+	w.inflight[env.ID] = true
+	w.mu.Unlock()
+	select {
+	case w.tasks <- env:
+	default:
+		w.mu.Lock()
+		delete(w.inflight, env.ID)
+		w.mu.Unlock()
+	}
+}
+
+func (w *Worker) applyHello(env *Envelope) {
+	ps, ok := w.cfg.Net.(PeerSetter)
+	if !ok {
+		return
+	}
+	for k, addr := range env.Peers {
+		proc, err := strconv.Atoi(k)
+		if err != nil || proc == w.cfg.Self {
+			continue
+		}
+		ps.SetPeer(proc, addr)
+	}
+}
+
+func (w *Worker) runLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case env := <-w.tasks:
+			w.runTask(env)
+		}
+	}
+}
+
+func (w *Worker) runTask(env *Envelope) {
+	res := &Envelope{Kind: KindResult, ID: env.ID}
+	pos, _, err := serve.ParsePosition(env.Game, env.Pos)
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		r, serr := w.pool.Search(w.ctx, pos, env.Depth)
+		if serr != nil {
+			if w.ctx.Err() != nil {
+				return // closing: no result, coordinator reissues elsewhere
+			}
+			res.Err = serr.Error()
+		} else {
+			res.Value, res.Best, res.Nodes = r.Value, r.Best, r.Nodes
+		}
+	}
+	if w.tm != nil {
+		w.tm.ShardTasks.Add(1)
+	}
+	w.mu.Lock()
+	delete(w.inflight, env.ID)
+	w.doneCache[env.ID] = res
+	w.doneOrder = append(w.doneOrder, env.ID)
+	for len(w.doneOrder) > w.cfg.DoneCache {
+		delete(w.doneCache, w.doneOrder[0])
+		w.doneOrder = w.doneOrder[1:]
+	}
+	w.mu.Unlock()
+	w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: res})
+}
+
+func (w *Worker) pingLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.PingEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+			w.sendPing()
+		}
+	}
+}
+
+func (w *Worker) sendPing() {
+	w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: &Envelope{
+		Kind: KindPing, SentNs: time.Now().UnixNano(),
+	}})
+}
+
+// remoteWindowTTL ages out probe-window slots whose replies never came
+// (owner down, frame dropped), so losses cannot wedge the window shut.
+const remoteWindowTTL = time.Second
+
+// remoteClient is the engine.RemoteTT half of the two-level table: it
+// forwards deep probes and stores to the hash's owning shard. Both
+// methods run on the search hot path and are strictly non-blocking — a
+// brief mutex for the window map, then a non-blocking transport send.
+type remoteClient struct{ w *Worker }
+
+func (r remoteClient) Probe(hash uint64, depth int) {
+	w := r.w
+	owner := w.ring.Owner(hash)
+	if owner == w.cfg.Self {
+		return
+	}
+	now := time.Now()
+	w.mu.Lock()
+	if _, dup := w.outstanding[hash]; dup {
+		w.mu.Unlock()
+		return
+	}
+	if len(w.outstanding) >= w.cfg.RemoteWindow {
+		// Window full: purge aged slots, and if still full, skip.
+		for h, sent := range w.outstanding {
+			if now.Sub(sent) > remoteWindowTTL {
+				delete(w.outstanding, h)
+			}
+		}
+		if len(w.outstanding) >= w.cfg.RemoteWindow {
+			w.mu.Unlock()
+			if w.tm != nil {
+				w.tm.RemoteSkips.Add(1)
+			}
+			return
+		}
+	}
+	w.outstanding[hash] = now
+	w.mu.Unlock()
+	if w.tm != nil {
+		w.tm.RemoteProbes.Add(1)
+	}
+	w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: owner, Payload: &Envelope{
+		Kind: KindTTProbe, Hash: hash, Depth: depth, SentNs: now.UnixNano(),
+	}})
+}
+
+func (r remoteClient) Store(hash uint64, value int32, depth int, flag uint64, best int) {
+	w := r.w
+	owner := w.ring.Owner(hash)
+	if owner == w.cfg.Self {
+		return
+	}
+	if w.tm != nil {
+		w.tm.RemoteStores.Add(1)
+	}
+	w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: owner, Payload: &Envelope{
+		Kind: KindTTStore, Hash: hash, Value: value, Depth: depth, Flag: flag, Best: best,
+	}})
+}

@@ -48,6 +48,12 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		{"gametree_retransmits_total", "Messages retransmitted after an ack timeout.", s.Total.Retransmits},
 		{"gametree_heartbeats_total", "Heartbeats emitted by the reliability protocol.", s.Total.Heartbeats},
 		{"gametree_reassigns_total", "Levels reassigned away from dead processors.", s.Total.Reassigns},
+		{"gametree_shard_tasks_total", "Root tasks dispatched to shard workers.", s.Total.ShardTasks},
+		{"gametree_shard_reissues_total", "Tasks reissued after a shard worker timed out or died.", s.Total.ShardReissues},
+		{"gametree_remote_probes_total", "Transposition-table probes sent to the owning shard.", s.Total.RemoteProbes},
+		{"gametree_remote_hits_total", "Remote TT probes answered with a usable entry.", s.Total.RemoteHits},
+		{"gametree_remote_stores_total", "Transposition-table stores forwarded to the owning shard.", s.Total.RemoteStores},
+		{"gametree_remote_skips_total", "Remote TT probes skipped because the in-flight window was full.", s.Total.RemoteSkips},
 	}
 	for _, c := range counters {
 		if err := promHeader(w, c.name, c.help, "counter"); err != nil {

@@ -72,6 +72,24 @@ gametree_heartbeats_total 0
 # HELP gametree_reassigns_total Levels reassigned away from dead processors.
 # TYPE gametree_reassigns_total counter
 gametree_reassigns_total 0
+# HELP gametree_shard_tasks_total Root tasks dispatched to shard workers.
+# TYPE gametree_shard_tasks_total counter
+gametree_shard_tasks_total 9
+# HELP gametree_shard_reissues_total Tasks reissued after a shard worker timed out or died.
+# TYPE gametree_shard_reissues_total counter
+gametree_shard_reissues_total 1
+# HELP gametree_remote_probes_total Transposition-table probes sent to the owning shard.
+# TYPE gametree_remote_probes_total counter
+gametree_remote_probes_total 20
+# HELP gametree_remote_hits_total Remote TT probes answered with a usable entry.
+# TYPE gametree_remote_hits_total counter
+gametree_remote_hits_total 5
+# HELP gametree_remote_stores_total Transposition-table stores forwarded to the owning shard.
+# TYPE gametree_remote_stores_total counter
+gametree_remote_stores_total 15
+# HELP gametree_remote_skips_total Remote TT probes skipped because the in-flight window was full.
+# TYPE gametree_remote_skips_total counter
+gametree_remote_skips_total 2
 # HELP gametree_workers Worker shards registered with the recorder.
 # TYPE gametree_workers gauge
 gametree_workers 2
@@ -150,6 +168,27 @@ gametree_split_depth_bucket{le="8"} 3
 gametree_split_depth_bucket{le="+Inf"} 3
 gametree_split_depth_sum 17
 gametree_split_depth_count 3
+# HELP gametree_shard_rpc_ns Shard RPC round-trip latency (task dispatch to result, TT probe to reply), nanoseconds.
+# TYPE gametree_shard_rpc_ns histogram
+gametree_shard_rpc_ns_bucket{le="1"} 0
+gametree_shard_rpc_ns_bucket{le="2"} 0
+gametree_shard_rpc_ns_bucket{le="4"} 0
+gametree_shard_rpc_ns_bucket{le="8"} 0
+gametree_shard_rpc_ns_bucket{le="16"} 0
+gametree_shard_rpc_ns_bucket{le="32"} 0
+gametree_shard_rpc_ns_bucket{le="64"} 0
+gametree_shard_rpc_ns_bucket{le="128"} 0
+gametree_shard_rpc_ns_bucket{le="256"} 0
+gametree_shard_rpc_ns_bucket{le="512"} 0
+gametree_shard_rpc_ns_bucket{le="1024"} 0
+gametree_shard_rpc_ns_bucket{le="2048"} 0
+gametree_shard_rpc_ns_bucket{le="4096"} 0
+gametree_shard_rpc_ns_bucket{le="8192"} 0
+gametree_shard_rpc_ns_bucket{le="16384"} 0
+gametree_shard_rpc_ns_bucket{le="32768"} 1
+gametree_shard_rpc_ns_bucket{le="+Inf"} 1
+gametree_shard_rpc_ns_sum 30000
+gametree_shard_rpc_ns_count 1
 `
 
 // buildPromFixture populates a recorder with a small deterministic state
@@ -188,6 +227,13 @@ func buildPromFixture() *Recorder {
 	a.Hist[HistSplitDepth].Observe(8)
 	a.Hist[HistSplitDepth].Observe(5)
 	b.Hist[HistSplitDepth].Observe(4)
+	a.ShardTasks.Add(9)
+	a.ShardReissues.Add(1)
+	a.RemoteProbes.Add(20)
+	a.RemoteHits.Add(5)
+	a.RemoteStores.Add(15)
+	a.RemoteSkips.Add(2)
+	a.Hist[HistShardRPCNs].Observe(30000)
 	return r
 }
 

@@ -56,6 +56,7 @@ const (
 	HistRetransmitDelayNs        // age of an unacked message at each retransmit, ns
 	HistRecoveryNs               // heartbeat silence until a crash was declared, ns
 	HistSplitDepth               // remaining search depth at each opened split point
+	HistShardRPCNs               // shard RPC round trip (task dispatch→result, probe→reply), ns
 	NumHists
 )
 
@@ -81,6 +82,8 @@ func HistName(i int) string {
 		return "recovery_ns"
 	case HistSplitDepth:
 		return "split_depth"
+	case HistShardRPCNs:
+		return "shard_rpc_ns"
 	}
 	return ""
 }
@@ -106,6 +109,8 @@ func HistHelp(i int) string {
 		return "Heartbeat silence observed when a processor was declared dead, nanoseconds."
 	case HistSplitDepth:
 		return "Remaining search depth at each opened split point."
+	case HistShardRPCNs:
+		return "Shard RPC round-trip latency (task dispatch to result, TT probe to reply), nanoseconds."
 	}
 	return ""
 }
@@ -142,6 +147,15 @@ func HistHelp(i int) string {
 //	               reliability protocol (faultnet runs): messages
 //	               retransmitted after ack timeout, heartbeats emitted,
 //	               and levels reassigned away from dead processors
+//	ShardTasks/ShardReissues
+//	               distributed serving tier: root tasks dispatched to
+//	               shard workers, and tasks reissued to a successor after
+//	               a worker timed out or died
+//	RemoteProbes/RemoteHits/RemoteStores/RemoteSkips
+//	               two-level transposition table: probes sent to the
+//	               owning shard, replies that carried a usable entry,
+//	               stores forwarded to the owner, and probes skipped
+//	               because the bounded in-flight window was full
 type Shard struct {
 	Tasks         atomic.Int64
 	StealAttempts atomic.Int64
@@ -164,6 +178,12 @@ type Shard struct {
 	Retransmits   atomic.Int64
 	Heartbeats    atomic.Int64
 	Reassigns     atomic.Int64
+	ShardTasks    atomic.Int64
+	ShardReissues atomic.Int64
+	RemoteProbes  atomic.Int64
+	RemoteHits    atomic.Int64
+	RemoteStores  atomic.Int64
+	RemoteSkips   atomic.Int64
 
 	// Hist keeps the distributions behind the counters above (see the
 	// Hist* index constants). Same discipline: single writer, atomic only
@@ -205,6 +225,12 @@ type Counts struct {
 	Retransmits   int64
 	Heartbeats    int64
 	Reassigns     int64
+	ShardTasks    int64
+	ShardReissues int64
+	RemoteProbes  int64
+	RemoteHits    int64
+	RemoteStores  int64
+	RemoteSkips   int64
 }
 
 // load copies a shard's counters.
@@ -231,6 +257,12 @@ func (s *Shard) load() Counts {
 		Retransmits:   s.Retransmits.Load(),
 		Heartbeats:    s.Heartbeats.Load(),
 		Reassigns:     s.Reassigns.Load(),
+		ShardTasks:    s.ShardTasks.Load(),
+		ShardReissues: s.ShardReissues.Load(),
+		RemoteProbes:  s.RemoteProbes.Load(),
+		RemoteHits:    s.RemoteHits.Load(),
+		RemoteStores:  s.RemoteStores.Load(),
+		RemoteSkips:   s.RemoteSkips.Load(),
 	}
 }
 
@@ -259,6 +291,12 @@ func (c *Counts) add(o Counts) {
 	c.Retransmits += o.Retransmits
 	c.Heartbeats += o.Heartbeats
 	c.Reassigns += o.Reassigns
+	c.ShardTasks += o.ShardTasks
+	c.ShardReissues += o.ShardReissues
+	c.RemoteProbes += o.RemoteProbes
+	c.RemoteHits += o.RemoteHits
+	c.RemoteStores += o.RemoteStores
+	c.RemoteSkips += o.RemoteSkips
 }
 
 // Snapshot is a point-in-time view of a Recorder: the per-shard counters,
@@ -439,6 +477,21 @@ type Report struct {
 	RetransmitDelayP99Us float64 `json:"retransmit_delay_p99_us,omitempty"`
 	RecoveryP50Us        float64 `json:"recovery_p50_us,omitempty"`
 	RecoveryMaxUs        float64 `json:"recovery_max_us,omitempty"`
+	// Distributed serving tier (shard runs only; zero and omitted on
+	// single-process runs): task routing, crash reissues, and the remote
+	// half of the two-level transposition table.
+	ShardTasks    int64 `json:"shard_tasks,omitempty"`
+	ShardReissues int64 `json:"shard_reissues,omitempty"`
+	RemoteProbes  int64 `json:"remote_probes,omitempty"`
+	RemoteHits    int64 `json:"remote_hits,omitempty"`
+	RemoteStores  int64 `json:"remote_stores,omitempty"`
+	RemoteSkips   int64 `json:"remote_skips,omitempty"`
+	// RemoteHitRate is RemoteHits/RemoteProbes; 0 when no remote probes.
+	RemoteHitRate float64 `json:"remote_hit_rate,omitempty"`
+	// Shard RPC round-trip quantiles (HistShardRPCNs).
+	ShardRPCP50Us float64 `json:"shard_rpc_p50_us,omitempty"`
+	ShardRPCP99Us float64 `json:"shard_rpc_p99_us,omitempty"`
+	ShardRPCMaxUs float64 `json:"shard_rpc_max_us,omitempty"`
 }
 
 // Report derives the condensed metrics from a snapshot.
@@ -514,6 +567,20 @@ func (s Snapshot) Report() Report {
 	if rc := s.Hist[HistRecoveryNs]; rc.Count > 0 {
 		rep.RecoveryP50Us = rc.P50() / 1e3
 		rep.RecoveryMaxUs = float64(rc.Max) / 1e3
+	}
+	rep.ShardTasks = t.ShardTasks
+	rep.ShardReissues = t.ShardReissues
+	rep.RemoteProbes = t.RemoteProbes
+	rep.RemoteHits = t.RemoteHits
+	rep.RemoteStores = t.RemoteStores
+	rep.RemoteSkips = t.RemoteSkips
+	if t.RemoteProbes > 0 {
+		rep.RemoteHitRate = float64(t.RemoteHits) / float64(t.RemoteProbes)
+	}
+	if rpc := s.Hist[HistShardRPCNs]; rpc.Count > 0 {
+		rep.ShardRPCP50Us = rpc.P50() / 1e3
+		rep.ShardRPCP99Us = rpc.P99() / 1e3
+		rep.ShardRPCMaxUs = float64(rpc.Max) / 1e3
 	}
 	return rep
 }

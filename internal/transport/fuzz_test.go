@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"gametree/internal/faultnet"
+)
+
+// FuzzFrameRoundTrip holds the frame codec to two properties: every
+// encodable packet round-trips exactly, and DecodeFrame never panics on
+// arbitrary bytes — a hostile peer can write anything into the socket.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(0, 1, []byte("hello"))
+	f.Add(-1, 3, []byte{})
+	f.Add(7, -1, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(1<<20, -(1 << 20), bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, from, to int, payload []byte) {
+		pkt := faultnet.Packet{From: from, To: to, Payload: payload}
+		frame, err := EncodeFrame(pkt, Bytes{})
+		if err != nil {
+			if len(payload)+headerLen > MaxFrame {
+				return // oversized payloads are rejected, correctly
+			}
+			t.Fatalf("encode failed for %d-byte payload: %v", len(payload), err)
+		}
+		got, err := DecodeFrame(frame, Bytes{})
+		if err != nil {
+			t.Fatalf("decode of our own frame failed: %v", err)
+		}
+		// From/To travel as int32 on the wire; ids beyond that range
+		// truncate, and the round-trip contract covers the int32 window
+		// (proc ids are small ints, -1 for the coordinator/monitor).
+		if int32(from) == int32(int64(from)) && got.From != int(int32(from)) {
+			t.Fatalf("from: got %d, want %d", got.From, int32(from))
+		}
+		if got.To != int(int32(to)) {
+			t.Fatalf("to: got %d, want %d", got.To, int32(to))
+		}
+		if !bytes.Equal(got.Payload.([]byte), payload) {
+			t.Fatalf("payload: got %x, want %x", got.Payload, payload)
+		}
+
+		// Arbitrary input must produce an error or a packet, never a
+		// panic: feed the fuzzed payload itself to the decoder.
+		if pkt, err := DecodeFrame(payload, Bytes{}); err == nil {
+			if 4+headerLen > len(payload) {
+				t.Fatalf("decode accepted a %d-byte frame: %+v", len(payload), pkt)
+			}
+		}
+	})
+}

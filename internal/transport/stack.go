@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"time"
+
+	"gametree/internal/faultnet"
+)
+
+// chaosStack layers a seeded fault injector over a real transport: the
+// injector makes every fault decision (drop, dup, delay, reorder, crash,
+// stall) exactly as it does in-process, and the packets that survive are
+// carried by the lower transport's sockets. Composition is by callback
+// plumbing — the injector's "deliver" is the lower transport's Send —
+// so neither side changes for the other.
+type chaosStack struct {
+	inj   *faultnet.Injector
+	lower faultnet.Network
+}
+
+// Chaos returns the composed network: inj decides the faults, lower
+// carries the survivors. The chaos regression matrix runs unchanged
+// over real sockets by swapping its Injector for
+// Chaos(injector, tcpTransport).
+func Chaos(inj *faultnet.Injector, lower faultnet.Network) faultnet.Network {
+	return &chaosStack{inj: inj, lower: lower}
+}
+
+func (c *chaosStack) Start(deliver func(faultnet.Packet)) {
+	// Final delivery comes off the lower transport's reader goroutines;
+	// the injector hands its surviving packets to the lower Send.
+	c.lower.Start(func(pkt faultnet.Packet) {
+		// A crash that fired while the packet was on the wire still
+		// silences the destination, matching the bare injector's
+		// deliverNow gate.
+		if !c.inj.Alive(pkt.To) {
+			return
+		}
+		deliver(pkt)
+	})
+	c.inj.Start(c.lower.Send)
+}
+
+func (c *chaosStack) Send(pkt faultnet.Packet) { c.inj.Send(pkt) }
+
+// Alive and StalledUntil expose the injector's failure schedule: the
+// protocols gate their heartbeat emission on these, exactly as they do
+// on the bare injector.
+func (c *chaosStack) Alive(proc int) bool { return c.inj.Alive(proc) }
+
+func (c *chaosStack) StalledUntil(proc int) (time.Time, bool) { return c.inj.StalledUntil(proc) }
+
+func (c *chaosStack) Close() {
+	c.inj.Close()
+	c.lower.Close()
+}
+
+// Stats reports the injector's view — the semantic fault counters the
+// chaos assertions read. The lower transport's socket-level counters
+// remain available from the transport itself.
+func (c *chaosStack) Stats() faultnet.Stats { return c.inj.Stats() }

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# shard_smoke.sh — CI gate for the distributed serving tier.
+#
+# Boots a race-instrumented three-process ring — two shard workers plus
+# the coordinator with its HTTP API — and asserts the distributed
+# contract end to end:
+#   - ring agreement: every process must log the same [1 2] membership
+#     (divergent rings silently break two-level TT ownership);
+#   - exact values: a tic-tac-toe burst where every 200 must report the
+#     known draw value (0), fanned out across both workers;
+#   - a mixed random workload with duplicate traffic completes, and the
+#     coordinator's /metrics shows shard task dispatch;
+#   - crash recovery: worker 2 is killed with SIGKILL in the middle of a
+#     burst; the burst must still complete with every value exact (the
+#     coordinator reissues orphaned tasks to the survivor), and a fresh
+#     exact-value burst against the degraded ring must pass;
+#   - scaling (only when the host has >1 CPU): the same CPU-bound
+#     workload through a 2-worker ring must reach >= 1.3x the qps of a
+#     1-worker ring. Single-CPU hosts skip the ratio, not the gate.
+#
+# Artifacts (process logs, /metrics scrapes from all three processes,
+# gtload transcripts) land in shard-smoke-artifacts/ (override:
+# ARTIFACT_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ART=${ARTIFACT_DIR:-shard-smoke-artifacts}
+mkdir -p "$ART"
+BIN=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -race -o "$BIN/gtserve" ./cmd/gtserve
+go build -race -o "$BIN/gtload" ./cmd/gtload
+
+wait_file() { # wait_file <path> [tries]
+    local tries=${2:-100}
+    for _ in $(seq 1 "$tries"); do [ -s "$1" ] && return 0; sleep 0.1; done
+    echo "shard_smoke: $1 never appeared" >&2
+    return 1
+}
+
+# qps <gtload transcript> — extract the completed-request rate.
+qps() { awk -F'qps=' '/qps=/ {split($2, a, " "); print a[1]}' "$1"; }
+
+start_worker() { # start_worker <proc> <procs> <workers-per-pool>
+    local proc=$1 procs=$2 wrk=$3
+    "$BIN/gtserve" -role worker -shard-proc "$proc" -shard-procs "$procs" \
+        -shard-listen 127.0.0.1:0 -shard-portfile "$BIN/w$proc.shard" \
+        -addr 127.0.0.1:0 -portfile "$BIN/w$proc.http" \
+        -workers "$wrk" -table 65536 2>>"$ART/worker$proc.log" &
+    PIDS+=($!)
+    eval "W${proc}PID=$!"
+    wait_file "$BIN/w$proc.shard"
+    wait_file "$BIN/w$proc.http"
+}
+
+start_coordinator() { # start_coordinator <peers> <procs>
+    # The result cache is disabled so every completion below is a real
+    # fan-out over the ring — with it on, the single-position ttt
+    # workload would be answered from the coordinator's memory and the
+    # crash gauntlet would prove nothing.
+    "$BIN/gtserve" -role coordinator -shard-peers "$1" -shard-procs "$2" \
+        -shard-listen 127.0.0.1:0 -addr 127.0.0.1:0 -portfile "$BIN/c.http" \
+        -pools 4 -cache -1 -task-timeout 500ms 2>>"$ART/coordinator.log" &
+    PIDS+=($!)
+    CPID=$!
+    wait_file "$BIN/c.http"
+    URL="http://$(tr -d '\n' <"$BIN/c.http")"
+}
+
+echo "== boot: 2 workers + coordinator =="
+start_worker 1 1,2 2
+start_worker 2 1,2 2
+W1HTTP="http://$(tr -d '\n' <"$BIN/w1.http")"
+W2HTTP="http://$(tr -d '\n' <"$BIN/w2.http")"
+start_coordinator "1=$(tr -d '\n' <"$BIN/w1.shard"),2=$(tr -d '\n' <"$BIN/w2.shard")" 1,2
+
+grep -q 'ring \[1 2\]' "$ART/worker1.log" || { echo "shard_smoke: worker 1 ring mismatch"; exit 1; }
+grep -q 'ring \[1 2\]' "$ART/worker2.log" || { echo "shard_smoke: worker 2 ring mismatch"; exit 1; }
+curl -fsS "$URL/healthz" >"$ART/healthz.json"
+grep -q '"backend":"shard"' "$ART/healthz.json"
+curl -fsS "$W1HTTP/healthz" | grep -q '"role":"worker"'
+
+echo "== exact-value burst (ttt, depth 9: every answer must be the draw) =="
+"$BIN/gtload" -url "$URL" -game ttt -depth 9 -clients 4 -duration 2s \
+    -expect 0 -shards 2 | tee "$ART/gtload-ttt.txt"
+
+echo "== mixed random workload across the ring =="
+"$BIN/gtload" -url "$URL" -game random -depth 7 -dup 0.5 -hot 8 \
+    -clients 4 -duration 2s -shards 2 | tee "$ART/gtload-random.txt"
+
+echo "== /metrics from all three processes =="
+curl -fsS "$URL/metrics" >"$ART/coordinator-metrics.prom"
+curl -fsS "$W1HTTP/metrics" >"$ART/worker1-metrics.prom"
+curl -fsS "$W2HTTP/metrics" >"$ART/worker2-metrics.prom"
+grep -q '^gametree_shard_tasks_total ' "$ART/coordinator-metrics.prom"
+tasks=$(awk '/^gametree_shard_tasks_total /{print $2}' "$ART/coordinator-metrics.prom")
+[ "$tasks" -gt 0 ] || { echo "shard_smoke: coordinator dispatched no tasks"; exit 1; }
+grep -q '^gametree_shard_tasks_total ' "$ART/worker1-metrics.prom"
+grep -q '^gametree_shard_rpc_ns_bucket' "$ART/coordinator-metrics.prom"
+
+echo "== kill -9 worker 2 mid-burst: values must stay exact =="
+"$BIN/gtload" -url "$URL" -game ttt -depth 9 -clients 4 -duration 6s \
+    -deadline 8s -expect 0 -shards 2 >"$ART/gtload-crash.txt" 2>&1 &
+LOAD=$!
+sleep 2
+kill -9 "$W2PID"
+rc=0
+wait "$LOAD" || rc=$?
+cat "$ART/gtload-crash.txt"
+[ "$rc" -eq 0 ] || { echo "shard_smoke: burst failed after worker crash (rc=$rc)"; exit 1; }
+
+echo "== degraded ring still serves exact values =="
+"$BIN/gtload" -url "$URL" -game ttt -depth 9 -clients 2 -duration 1s \
+    -deadline 8s -expect 0 -shards 2 | tee "$ART/gtload-degraded.txt"
+curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-postcrash.prom"
+# Tasks in flight to the dead worker must have been reissued to the
+# survivor — the burst staying exact is the effect, this is the cause.
+reissues=$(awk '/^gametree_shard_reissues_total /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
+[ "${reissues:-0}" -gt 0 ] || { echo "shard_smoke: no task reissues after worker crash"; exit 1; }
+
+echo "== scaling ratio: 2-worker ring vs 1-worker ring (CPU-gated) =="
+for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
+PIDS=()
+if [ "$(nproc)" -ge 2 ]; then
+    rm -f "$BIN"/*.shard "$BIN"/*.http
+    # CPU-bound workload (no duplicate traffic, so the result cache and
+    # the hot set don't mask worker throughput), one engine worker per
+    # shard: the only variable between the runs is the worker count.
+    start_worker 1 1 1
+    start_coordinator "1=$(tr -d '\n' <"$BIN/w1.shard")" 1
+    "$BIN/gtload" -url "$URL" -game random -depth 7 -dup 0 -clients 4 \
+        -duration 3s -shards 1 >"$ART/gtload-s1.txt" 2>&1
+    for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
+    PIDS=()
+
+    rm -f "$BIN"/*.shard "$BIN"/*.http
+    start_worker 1 1,2 1
+    start_worker 2 1,2 1
+    start_coordinator "1=$(tr -d '\n' <"$BIN/w1.shard"),2=$(tr -d '\n' <"$BIN/w2.shard")" 1,2
+    "$BIN/gtload" -url "$URL" -game random -depth 7 -dup 0 -clients 4 \
+        -duration 3s -shards 2 >"$ART/gtload-s2.txt" 2>&1
+
+    q1=$(qps "$ART/gtload-s1.txt"); q2=$(qps "$ART/gtload-s2.txt")
+    echo "shard_smoke: qps shards=1 $q1, shards=2 $q2"
+    awk -v a="$q1" -v b="$q2" 'BEGIN { exit !(b >= 1.3 * a) }' \
+        || { echo "shard_smoke: 2-worker ring under 1.3x of 1-worker ($q2 vs $q1)"; exit 1; }
+else
+    echo "shard_smoke: single CPU, skipping scaling ratio"
+fi
+
+echo "shard_smoke: PASS"
