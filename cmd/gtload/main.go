@@ -66,6 +66,8 @@ type config struct {
 	hasExpect bool
 	out       string
 	label     string
+
+	trace string // X-GT-Trace prefix; "" = no header
 }
 
 // counters aggregates the run. Latency is recorded only for completed
@@ -178,6 +180,7 @@ type outcome struct {
 type httpIssuer struct {
 	cfg    config
 	client *http.Client
+	seq    atomic.Uint64 // -trace: per-request trace-ID suffix
 }
 
 func (h *httpIssuer) issue(ctx context.Context, position string) outcome {
@@ -192,6 +195,11 @@ func (h *httpIssuer) issue(ctx context.Context, position string) outcome {
 		return outcome{status: 500}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h.cfg.trace != "" {
+		// Force-sample this request under a deterministic ID: the server
+		// always honours an inbound X-GT-Trace, whatever its -trace-sample.
+		req.Header.Set("X-GT-Trace", fmt.Sprintf("%s-%d", h.cfg.trace, h.seq.Add(1)))
+	}
 	resp, err := h.client.Do(req)
 	if err != nil {
 		return outcome{status: 500}
@@ -272,6 +280,7 @@ func main() {
 	expect := flag.String("expect", "", "assert every completed value equals this integer")
 	flag.StringVar(&cfg.out, "out", "", "append a run to this benchfmt JSON document")
 	flag.StringVar(&cfg.label, "label", "", "run label (default: baseline | serve)")
+	flag.StringVar(&cfg.trace, "trace", "", "send X-GT-Trace: <prefix>-<n> on every request, force-sampling them for /debug/gttrace")
 	flag.Parse()
 
 	if cfg.url == "" && !cfg.baseline {

@@ -1,0 +1,139 @@
+// Command gtobs assembles the distributed view of the shard ring's
+// request traces: it scrapes /debug/gttrace on every ring process,
+// aligns worker clocks onto the coordinator's using the ping-echo
+// offset estimates carried in the coordinator's dump, and merges the
+// spans into one timeline — a Chrome/Perfetto trace_event file with one
+// lane per process, plus a per-request latency-breakdown table.
+//
+// Usage:
+//
+//	gtobs -ring http://c:8080,http://w1:8081,http://w2:8082 \
+//	      -out ring.trace.json               # Perfetto file
+//	gtobs -ring ... -trace smoke             # only trace IDs with this prefix
+//	gtobs -ring ... -out ring.trace.json -table=false
+//
+// The breakdown table (stdout) lists every request oldest-first with
+// its per-stage span counts and summed durations, so "where did this
+// request's latency go" is answerable from a terminal; the -out file
+// answers it visually. Scrape-time identity and offset quality go to
+// stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gametree/internal/reqtrace"
+)
+
+func main() {
+	var (
+		ring    = flag.String("ring", "", "comma-separated base URLs of every ring process (coordinator first by convention)")
+		out     = flag.String("out", "", "write the merged Chrome trace_event JSON here")
+		table   = flag.Bool("table", true, "print the per-request latency-breakdown table to stdout")
+		traceID = flag.String("trace", "", "keep only trace IDs with this prefix")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
+		partial = flag.Bool("partial", false, "tolerate unreachable processes instead of failing")
+	)
+	flag.Parse()
+	if *ring == "" {
+		fmt.Fprintln(os.Stderr, "gtobs: -ring is required")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var dumps []reqtrace.Dump
+	for _, base := range strings.Split(*ring, ",") {
+		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+		if base == "" {
+			continue
+		}
+		d, err := scrape(client, base)
+		if err != nil {
+			if *partial {
+				fmt.Fprintf(os.Stderr, "gtobs: skipping %s: %v\n", base, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "gtobs: %s: %v\n", base, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gtobs: %s: proc %d (%s) %d spans, %d dropped, %d offsets\n",
+			base, d.Proc, d.Role, len(d.Spans), d.Dropped, len(d.Offsets))
+		dumps = append(dumps, d)
+	}
+	if len(dumps) == 0 {
+		fmt.Fprintln(os.Stderr, "gtobs: nothing scraped")
+		os.Exit(1)
+	}
+
+	spans, base := reqtrace.Merge(dumps)
+	if *traceID != "" {
+		kept := spans[:0]
+		for _, s := range spans {
+			if strings.HasPrefix(s.Trace, *traceID) {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+		base = 0
+		if len(spans) > 0 {
+			base = spans[0].StartNs // merged spans are sorted by start
+		}
+	}
+	procs := map[int]bool{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+	}
+	plist := make([]int, 0, len(procs))
+	for p := range procs {
+		plist = append(plist, p)
+	}
+	sort.Ints(plist)
+	fmt.Fprintf(os.Stderr, "gtobs: merged %d spans from procs %v\n", len(spans), plist)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtobs:", err)
+			os.Exit(1)
+		}
+		if err := reqtrace.WriteChromeTrace(f, spans, base, reqtrace.MergeRoles(dumps)); err != nil {
+			fmt.Fprintln(os.Stderr, "gtobs:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gtobs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gtobs: wrote %s\n", *out)
+	}
+	if *table {
+		if err := reqtrace.WriteBreakdown(os.Stdout, reqtrace.Breakdown(spans)); err != nil {
+			fmt.Fprintln(os.Stderr, "gtobs:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scrape fetches one process's /debug/gttrace dump.
+func scrape(client *http.Client, base string) (reqtrace.Dump, error) {
+	var d reqtrace.Dump
+	resp, err := client.Get(base + "/debug/gttrace")
+	if err != nil {
+		return d, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return d, fmt.Errorf("status %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return d, fmt.Errorf("bad dump: %w", err)
+	}
+	return d, nil
+}

@@ -39,14 +39,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 	"time"
 
+	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/telemetry"
 )
@@ -76,6 +79,10 @@ type options struct {
 	shardProcs    string
 	expandDepth   int
 	taskTimeout   time.Duration
+
+	traceSample int
+	accessLog   string
+	pprof       bool
 }
 
 func main() {
@@ -102,6 +109,10 @@ func main() {
 	flag.StringVar(&o.shardProcs, "shard-procs", "", "comma-separated worker processor ids forming the ring (default: derived from -shard-peers); must agree across all processes")
 	flag.IntVar(&o.expandDepth, "expand-depth", 1, "coordinator: plies expanded before fan-out")
 	flag.DurationVar(&o.taskTimeout, "task-timeout", 2*time.Second, "coordinator: per-task reissue timeout")
+
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "record request spans for 1-in-N headerless requests (0 = only requests with an X-GT-Trace header, 1 = all)")
+	flag.StringVar(&o.accessLog, "access-log", "", "append one JSON line per request to this file")
+	flag.BoolVar(&o.pprof, "pprof", true, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	o.queueDepth = *queue
@@ -128,6 +139,16 @@ func main() {
 }
 
 func runSingle(o options) int {
+	rec := telemetry.NewRecorder()
+	tracer := reqtrace.New(0, "single", o.traceSample, 0)
+	rec.AddPromSection(telemetry.BuildInfoSection())
+	rec.AddPromSection(tracer.PromSection())
+	accessLog, closeLog, err := openAccessLog(o.accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtserve:", err)
+		return 1
+	}
+	defer closeLog()
 	srv := serve.New(serve.Config{
 		Workers:         o.workers,
 		Pools:           o.pools,
@@ -139,9 +160,38 @@ func runSingle(o options) int {
 		MaxDepth:        o.maxDepth,
 		SplitHorizon:    o.horizon,
 		SpineOnly:       o.spineOnly,
-		Telemetry:       telemetry.NewRecorder(),
+		Telemetry:       rec,
+		Tracer:          tracer,
+		AccessLog:       accessLog,
 	})
 	return serveHTTP(srv, o)
+}
+
+// openAccessLog opens (appending) the -access-log file. An empty path
+// disables the log: nil writer, no-op closer.
+func openAccessLog(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// withPprof wraps a handler with the explicit net/http/pprof mux (the
+// blank-import default-mux route would leak the handlers into every
+// process importing this package).
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serveHTTP runs the HTTP service (single or coordinator role) through
@@ -162,7 +212,11 @@ func serveHTTP(srv *serve.Server, o options) int {
 	fmt.Fprintf(os.Stderr, "gtserve: listening on %s (role=%s pools=%d workers=%d queue=%d)\n",
 		bound, o.role, o.pools, o.workers, o.queueDepth)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if o.pprof {
+		handler = withPprof(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

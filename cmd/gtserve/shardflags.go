@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/shard"
 	"gametree/internal/telemetry"
@@ -136,6 +138,7 @@ func runCoordinator(o options) int {
 	for p, a := range peers {
 		peersWithSelf[p] = a
 	}
+	tracer := reqtrace.New(0, "coordinator", o.traceSample, 0)
 	coord := shard.NewCoordinator(shard.Config{
 		Net:         tr,
 		Self:        0,
@@ -144,9 +147,23 @@ func runCoordinator(o options) int {
 		TaskTimeout: o.taskTimeout,
 		PeerAddrs:   peersWithSelf,
 		Telemetry:   rec,
+		Tracer:      tracer,
 	})
+	// The coordinator's ping-echo estimates ride the trace dump so gtobs
+	// can align worker clocks at merge time.
+	tracer.SetOffsets(coord.ClockOffsets)
+	rec.AddPromSection(telemetry.BuildInfoSection())
+	rec.AddPromSection(tracer.PromSection())
+	rec.AddPromSection(coord.PromSection())
 	coord.Start()
 	defer coord.Close()
+
+	accessLog, closeLog, err := openAccessLog(o.accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtserve:", err)
+		return 1
+	}
+	defer closeLog()
 
 	fmt.Fprintf(os.Stderr, "gtserve: coordinator proc 0 on %s, workers %v, expand %d plies\n",
 		tr.Addr(), procs, o.expandDepth)
@@ -159,6 +176,8 @@ func runCoordinator(o options) int {
 		MaxDepth:        o.maxDepth,
 		Telemetry:       rec,
 		Backend:         coord,
+		Tracer:          tracer,
+		AccessLog:       accessLog,
 	})
 	return serveHTTP(srv, o)
 }
@@ -187,6 +206,7 @@ func runWorker(o options) int {
 		fmt.Fprintln(os.Stderr, "gtserve:", err)
 		return 1
 	}
+	tracer := reqtrace.New(o.shardProc, "worker", o.traceSample, 0)
 	w := shard.NewWorker(shard.WorkerConfig{
 		Net:          tr,
 		Self:         o.shardProc,
@@ -197,12 +217,24 @@ func runWorker(o options) int {
 		SplitHorizon: o.horizon,
 		SpineOnly:    o.spineOnly,
 		Telemetry:    rec,
+		Tracer:       tracer,
 	})
+	rec.AddPromSection(telemetry.BuildInfoSection())
+	rec.AddPromSection(tracer.PromSection())
+	rec.AddPromSection(w.PromSection())
 	w.Start()
 	fmt.Fprintf(os.Stderr, "gtserve: worker proc %d on %s, ring %v\n", o.shardProc, tr.Addr(), procs)
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.PromHandler(rec))
+	mux.Handle("/debug/gttrace", reqtrace.Handler(tracer))
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(rw, "{\"status\":\"ok\",\"role\":\"worker\",\"proc\":%d}\n", o.shardProc)

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"gametree/internal/engine"
+	"gametree/internal/reqtrace"
 	"gametree/internal/telemetry"
 )
 
@@ -86,6 +87,15 @@ type Config struct {
 	// number of concurrently running backend searches; no local table or
 	// pools are built.
 	Backend Backend
+	// Tracer records request-scoped spans for sampled requests (its
+	// sample rate decides which headerless requests are traced; an
+	// inbound X-GT-Trace header is always honoured) and backs the
+	// /debug/gttrace endpoint. Optional (nil = tracing off).
+	Tracer *reqtrace.Tracer
+	// AccessLog, when non-nil, receives one JSON line per request:
+	// trace ID, game, depth, outcome, queue-wait ns, total ns, status.
+	// Writes are serialized by the server.
+	AccessLog io.Writer
 }
 
 // Backend runs one search to completion and returns the exact result.
@@ -182,6 +192,8 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	accessMu sync.Mutex // serializes cfg.AccessLog writes
+
 	baseCtx    context.Context // parent of every search ctx; cancelled on hard stop
 	baseCancel context.CancelFunc
 
@@ -221,6 +233,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", telemetry.PromHandler(cfg.Telemetry))
+	// Nil-safe: with tracing off the endpoint serves an empty dump, so
+	// gtobs can always scrape every ring process.
+	s.mux.Handle("/debug/gttrace", reqtrace.Handler(cfg.Tracer))
 	return s
 }
 
@@ -235,6 +250,27 @@ func (s *Server) Table() *engine.Table { return s.table }
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	start := time.Now()
+
+	// Trace selection: an inbound X-GT-Trace header is always honoured,
+	// otherwise the tracer's sampler picks 1-in-N. trace == "" means the
+	// request is unsampled and every recording site below no-ops on it —
+	// the unsampled path allocates nothing (no wrapper, no context node)
+	// unless the access log needs the status anyway.
+	trace := r.Header.Get("X-GT-Trace")
+	if trace == "" && s.cfg.Tracer.SampleNext() {
+		trace = reqtrace.MintID()
+	}
+	var rec *accessRecord
+	if trace != "" || s.cfg.AccessLog != nil {
+		sw := &statusWriter{ResponseWriter: w}
+		w = sw
+		rec = &accessRecord{sw: sw, trace: trace}
+		if trace != "" {
+			w.Header().Set("X-GT-Trace", trace)
+		}
+		defer s.finishRequest(rec, start)
+	}
+
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
 		return
@@ -253,6 +289,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{fmt.Sprintf("depth %d out of range [0, %d]", req.Depth, s.cfg.MaxDepth)})
 		return
+	}
+	if rec != nil {
+		rec.game, rec.pos, rec.depth = req.Game, keyPosition(posKey), req.Depth
 	}
 
 	// Admission gate: no new work once draining. The RLock pairs with
@@ -288,6 +327,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if res, ok := s.cache.get(key); ok {
 		s.stats.cacheHits.Add(1)
 		s.stats.completed.Add(1)
+		if rec != nil {
+			rec.outcome = "cache-hit"
+		}
 		resp.fill(res, start, 0)
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
@@ -301,6 +343,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// deadline. The search itself keeps running on the leader's ctx —
 		// one slow joiner times out alone, it does not cancel the others.
 		s.stats.coalesced.Add(1)
+		if rec != nil {
+			rec.outcome = "coalesced"
+		}
 		select {
 		case <-call.done:
 		case <-time.After(deadline):
@@ -347,6 +392,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	queueWait := time.Since(waitStart)
 	s.stats.queueWaitNs.Observe(queueWait.Nanoseconds())
 	s.stats.admitted.Add(1)
+	if rec != nil {
+		rec.outcome = "search"
+		rec.queueNs = queueWait.Nanoseconds()
+	}
+	if trace != "" {
+		s.cfg.Tracer.Record(reqtrace.Span{
+			Trace: trace, Stage: reqtrace.StageQueue,
+			StartNs: waitStart.UnixNano(), DurNs: queueWait.Nanoseconds(),
+		})
+	}
 
 	// The search runs detached, under the server's lifetime plus the
 	// remaining request budget — decoupled from the leader's connection,
@@ -355,14 +410,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// no matter how the leader's response went.
 	budget := deadline - queueWait
 	sctx, cancel := context.WithTimeout(s.baseCtx, budget)
+	// The trace rides the search context into the backend (the shard
+	// coordinator reads it there); coalesced joiners see the leader's
+	// trace on the spans, which is where the work actually ran.
+	sctx = reqtrace.NewContext(sctx, trace)
 	go func() {
 		defer cancel()
 		var res engine.Result
 		var err error
+		searchStart := time.Now()
 		if pool != nil {
 			res, err = pool.Search(sctx, pos, req.Depth)
 		} else {
 			res, err = s.cfg.Backend.Search(sctx, req.Game, req.Position, req.Depth)
+		}
+		if trace != "" {
+			note := "ok"
+			if err != nil {
+				note = "err: " + err.Error()
+			}
+			s.cfg.Tracer.Record(reqtrace.Span{
+				Trace: trace, Stage: reqtrace.StageSearch,
+				StartNs: searchStart.UnixNano(), DurNs: time.Since(searchStart).Nanoseconds(),
+				Note: note,
+			})
 		}
 		s.free <- pool
 		if err == nil {
@@ -391,6 +462,87 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // searchGrace is the slack between a search ctx expiring and the leader
 // giving up on the search returning at all (see the backstop above).
 const searchGrace = 250 * time.Millisecond
+
+// statusWriter captures the response status once so the request span
+// and access log can report it without touching every write site.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// accessRecord accumulates one request's identity and outcome as the
+// handler learns them; finishRequest turns it into the request span and
+// the access-log line. Only allocated for traced or logged requests.
+type accessRecord struct {
+	sw      *statusWriter
+	trace   string
+	game    string
+	pos     string
+	depth   int
+	outcome string // cache-hit | coalesced | search | "" (failed before admission)
+	queueNs int64
+}
+
+// accessLine is the JSONL access-log schema: one self-contained line per
+// request, so request-level data survives without a trace scrape.
+type accessLine struct {
+	TS      string `json:"ts"`
+	Trace   string `json:"trace,omitempty"`
+	Game    string `json:"game,omitempty"`
+	Pos     string `json:"pos,omitempty"`
+	Depth   int    `json:"depth"`
+	Outcome string `json:"outcome,omitempty"`
+	QueueNs int64  `json:"queue_ns"`
+	TotalNs int64  `json:"total_ns"`
+	Status  int    `json:"status"`
+}
+
+func (s *Server) finishRequest(rec *accessRecord, start time.Time) {
+	totalNs := time.Since(start).Nanoseconds()
+	status := rec.sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	if rec.trace != "" {
+		note := strconv.Itoa(status)
+		if rec.outcome != "" {
+			note += " " + rec.outcome
+		}
+		s.cfg.Tracer.Record(reqtrace.Span{
+			Trace: rec.trace, Stage: reqtrace.StageRequest,
+			StartNs: start.UnixNano(), DurNs: totalNs,
+			Note: note,
+		})
+	}
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	b, err := json.Marshal(accessLine{
+		TS:      start.UTC().Format(time.RFC3339Nano),
+		Trace:   rec.trace,
+		Game:    rec.game,
+		Pos:     rec.pos,
+		Depth:   rec.depth,
+		Outcome: rec.outcome,
+		QueueNs: rec.queueNs,
+		TotalNs: totalNs,
+		Status:  status,
+	})
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.accessMu.Lock()
+	_, _ = s.cfg.AccessLog.Write(b)
+	s.accessMu.Unlock()
+}
 
 // respondSettled renders a settled flight for one waiter (leader or
 // joiner).

@@ -3,6 +3,8 @@ package shard
 import (
 	"context"
 	"fmt"
+	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -10,6 +12,7 @@ import (
 
 	"gametree/internal/engine"
 	"gametree/internal/faultnet"
+	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/telemetry"
 )
@@ -48,6 +51,13 @@ type Config struct {
 	// Telemetry records ShardTasks/ShardReissues and the shard_rpc_ns
 	// round-trip histogram on its shard 0. Optional.
 	Telemetry *telemetry.Recorder
+	// Tracer records request-scoped spans (expand/route/rpc/fold/reissue)
+	// for tasks whose envelopes carry a trace ID. Optional (nil = off).
+	Tracer *reqtrace.Tracer
+	// RecoveryP99 is the crash-recovery threshold: after a worker death
+	// is detected, recovery is declared once the windowed p99 of task RPC
+	// latency falls back under it (default 500ms).
+	RecoveryP99 time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -63,18 +73,75 @@ func (c Config) withDefaults() Config {
 	if c.HelloEvery <= 0 {
 		c.HelloEvery = time.Second
 	}
+	if c.RecoveryP99 <= 0 {
+		c.RecoveryP99 = 500 * time.Millisecond
+	}
 	return c
 }
 
 // pendingTask is one dispatched leaf awaiting its result.
 type pendingTask struct {
-	env    *Envelope
-	key    string // routing key: "game|pos"
-	to     int
-	sentAt time.Time
-	first  time.Time // first dispatch, for the RPC histogram
-	done   chan struct{}
-	res    *Envelope
+	env       *Envelope
+	key       string // routing key: "game|pos"
+	to        int
+	sentAt    time.Time
+	first     time.Time // first dispatch, for the RPC histogram
+	firstWall int64     // first dispatch, wall clock, for the rpc span
+	done      chan struct{}
+	res       *Envelope
+}
+
+// recoveryMinSamples is how many post-death RPC completions must land in
+// the latency window before the p99 test can declare recovery — a guard
+// against declaring victory on a near-empty window.
+const recoveryMinSamples = 16
+
+// recoveryTracker measures crash-recovery time: from the moment a
+// worker's liveness lapses until the windowed p99 of task RPC latency is
+// back under threshold. All methods are called under Coordinator.mu.
+type recoveryTracker struct {
+	threshold int64 // ns
+	window    [64]int64
+	n         int // filled window entries
+	idx       int
+	samples   int   // completions observed since the current death
+	deathNs   int64 // wall ns of the death being recovered from; 0 = steady
+	lastNs    int64 // duration of the most recently completed recovery
+	deaths    int64
+}
+
+func (r *recoveryTracker) noteDeath(nowNs int64) {
+	r.deaths++
+	if r.deathNs == 0 {
+		r.deathNs = nowNs
+	}
+	r.samples = 0
+}
+
+func (r *recoveryTracker) observe(latNs, nowNs int64) {
+	r.window[r.idx] = latNs
+	r.idx = (r.idx + 1) % len(r.window)
+	if r.n < len(r.window) {
+		r.n++
+	}
+	if r.deathNs == 0 {
+		return
+	}
+	r.samples++
+	if r.samples < recoveryMinSamples {
+		return
+	}
+	if r.p99() <= r.threshold {
+		r.lastNs = nowNs - r.deathNs
+		r.deathNs = 0
+	}
+}
+
+func (r *recoveryTracker) p99() int64 {
+	buf := make([]int64, r.n)
+	copy(buf, r.window[:r.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(r.n*99)/100]
 }
 
 // Coordinator expands root positions, routes the frontier to workers by
@@ -92,6 +159,9 @@ type Coordinator struct {
 	mu       sync.Mutex
 	pending  map[uint64]*pendingTask
 	lastPing map[int]time.Time
+	wasAlive map[int]bool            // previous liveness sweep, for death-edge detection
+	offsets  map[int]reqtrace.Offset // per-worker clock offsets from ping echoes
+	recovery recoveryTracker
 
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -109,8 +179,11 @@ func NewCoordinator(cfg Config) *Coordinator {
 		tm:       cfg.Telemetry.Shard(0),
 		pending:  make(map[uint64]*pendingTask),
 		lastPing: make(map[int]time.Time),
+		wasAlive: make(map[int]bool),
+		offsets:  make(map[int]reqtrace.Offset),
 		closed:   make(chan struct{}),
 	}
+	c.recovery.threshold = cfg.RecoveryP99.Nanoseconds()
 	return c
 }
 
@@ -122,6 +195,7 @@ func (c *Coordinator) Start() {
 	c.mu.Lock()
 	for _, w := range c.cfg.Workers {
 		c.lastPing[w] = now
+		c.wasAlive[w] = true
 	}
 	c.mu.Unlock()
 	c.cfg.Net.Start(c.deliver)
@@ -156,22 +230,71 @@ func (c *Coordinator) deliver(pkt faultnet.Packet) {
 	}
 	switch env.Kind {
 	case KindResult:
+		now := time.Now()
 		c.mu.Lock()
 		p := c.pending[env.ID]
 		if p != nil {
 			delete(c.pending, env.ID)
 			p.res = env
 			close(p.done)
+			c.recovery.observe(now.Sub(p.first).Nanoseconds(), now.UnixNano())
 		}
 		c.mu.Unlock()
-		if p != nil && c.tm != nil {
-			c.tm.Hist[telemetry.HistShardRPCNs].Observe(time.Since(p.first).Nanoseconds())
+		if p != nil {
+			if c.tm != nil {
+				c.tm.Hist[telemetry.HistShardRPCNs].Observe(now.Sub(p.first).Nanoseconds())
+			}
+			if p.env.Trace != "" {
+				c.cfg.Tracer.Record(reqtrace.Span{
+					Trace: p.env.Trace, Stage: reqtrace.StageRPC,
+					StartNs: p.firstWall, DurNs: now.UnixNano() - p.firstWall,
+					Task: env.ID, Worker: p.to,
+				})
+			}
 		}
 	case KindPing:
+		now := time.Now()
 		c.mu.Lock()
-		c.lastPing[pkt.From] = time.Now()
+		c.lastPing[pkt.From] = now
+		if env.EchoNs != 0 && env.SentNs != 0 {
+			c.observeOffsetLocked(pkt.From, env, now)
+		}
 		c.mu.Unlock()
 	}
+}
+
+// observeOffsetLocked folds one ping echo into the per-worker clock
+// offset estimate, NTP-style: the echo bounds the round trip on the
+// coordinator's clock, and the worker's own send stamp at the midpoint
+// gives offset = SentNs - (EchoNs + rtt/2), with error at most rtt/2.
+// The lowest-RTT sample is kept, aged slightly on every rejected sample
+// so a long-lived minimum cannot pin a drift-stale estimate forever
+// (the TCP RTT estimator trick; see DESIGN.md). Callers hold c.mu.
+func (c *Coordinator) observeOffsetLocked(from int, env *Envelope, now time.Time) {
+	rtt := now.UnixNano() - env.EchoNs
+	if rtt < 0 {
+		return // clock stepped backwards mid-flight; discard
+	}
+	off := env.SentNs - (env.EchoNs + rtt/2)
+	cur, ok := c.offsets[from]
+	if !ok || rtt <= cur.RTTNs {
+		c.offsets[from] = reqtrace.Offset{OffsetNs: off, RTTNs: rtt}
+		return
+	}
+	cur.RTTNs += cur.RTTNs/16 + 1
+	c.offsets[from] = cur
+}
+
+// ClockOffsets snapshots the per-worker clock-offset estimates for the
+// tracer's /debug/gttrace dump (reqtrace.Tracer.SetOffsets).
+func (c *Coordinator) ClockOffsets() map[int]reqtrace.Offset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]reqtrace.Offset, len(c.offsets))
+	for p, o := range c.offsets {
+		out[p] = o
+	}
+	return out
 }
 
 // alive reports ping freshness. Callers hold c.mu.
@@ -225,9 +348,25 @@ func (c *Coordinator) reissueLoop() {
 		case <-c.closed:
 			return
 		case <-t.C:
+			c.sweepLiveness(time.Now())
 			c.reissueStale()
 		}
 	}
+}
+
+// sweepLiveness detects alive→dead edges for the recovery clock. Sharing
+// the reissue tick keeps death detection at TaskTimeout/4 granularity,
+// which is also the soonest a death can have any latency consequence.
+func (c *Coordinator) sweepLiveness(now time.Time) {
+	c.mu.Lock()
+	for _, w := range c.cfg.Workers {
+		a := c.aliveLocked(w, now)
+		if c.wasAlive[w] && !a {
+			c.recovery.noteDeath(now.UnixNano())
+		}
+		c.wasAlive[w] = a
+	}
+	c.mu.Unlock()
 }
 
 // reissueStale re-sends every pending task older than TaskTimeout,
@@ -271,6 +410,12 @@ func (c *Coordinator) reissueStale() {
 		if c.tm != nil {
 			c.tm.ShardReissues.Add(1)
 		}
+		if r.env.Trace != "" {
+			c.cfg.Tracer.Record(reqtrace.Span{
+				Trace: r.env.Trace, Stage: reqtrace.StageReissue,
+				StartNs: r.env.SentNs, Task: r.env.ID, Worker: r.to,
+			})
+		}
 		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: r.to, Payload: r.env})
 	}
 }
@@ -285,9 +430,9 @@ type expandNode struct {
 
 // buildTree expands (game, pos) for `plies` more levels. Terminal
 // positions and exhausted depth become leaves regardless of plies left.
-func (c *Coordinator) buildTree(game, pos string, depth, plies int) (*expandNode, []*pendingTask, error) {
+func (c *Coordinator) buildTree(game, pos string, depth, plies int, trace string) (*expandNode, []*pendingTask, error) {
 	if plies <= 0 || depth <= 0 {
-		leaf := c.newTask(game, pos, depth)
+		leaf := c.newTask(game, pos, depth, trace)
 		return &expandNode{task: leaf}, []*pendingTask{leaf}, nil
 	}
 	children, err := serve.Expand(game, pos)
@@ -295,13 +440,13 @@ func (c *Coordinator) buildTree(game, pos string, depth, plies int) (*expandNode
 		return nil, nil, err
 	}
 	if len(children) == 0 {
-		leaf := c.newTask(game, pos, depth)
+		leaf := c.newTask(game, pos, depth, trace)
 		return &expandNode{task: leaf}, []*pendingTask{leaf}, nil
 	}
 	n := &expandNode{children: make([]*expandNode, len(children))}
 	var leaves []*pendingTask
 	for i, ch := range children {
-		sub, subLeaves, err := c.buildTree(game, ch, depth-1, plies-1)
+		sub, subLeaves, err := c.buildTree(game, ch, depth-1, plies-1, trace)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -311,10 +456,10 @@ func (c *Coordinator) buildTree(game, pos string, depth, plies int) (*expandNode
 	return n, leaves, nil
 }
 
-func (c *Coordinator) newTask(game, pos string, depth int) *pendingTask {
+func (c *Coordinator) newTask(game, pos string, depth int, trace string) *pendingTask {
 	id := c.nextID.Add(1)
 	return &pendingTask{
-		env:  &Envelope{Kind: KindTask, ID: id, Game: game, Pos: pos, Depth: depth},
+		env:  &Envelope{Kind: KindTask, ID: id, Game: game, Pos: pos, Depth: depth, Trace: trace},
 		key:  game + "|" + pos,
 		done: make(chan struct{}),
 	}
@@ -360,20 +505,31 @@ func (c *Coordinator) Search(ctx context.Context, game, position string, depth i
 	}
 	canon := key[len(game)+1:]
 
-	root, leaves, err := c.buildTree(game, canon, depth, c.cfg.ExpandDepth)
+	trace := reqtrace.FromContext(ctx)
+	wallExpand := time.Now().UnixNano()
+	root, leaves, err := c.buildTree(game, canon, depth, c.cfg.ExpandDepth, trace)
 	if err != nil {
 		return engine.Result{}, err
+	}
+	if trace != "" {
+		c.cfg.Tracer.Record(reqtrace.Span{
+			Trace: trace, Stage: reqtrace.StageExpand,
+			StartNs: wallExpand, DurNs: time.Now().UnixNano() - wallExpand,
+			Note: fmt.Sprintf("leaves=%d", len(leaves)),
+		})
 	}
 
 	// Dispatch every leaf to the live owner of its position key.
 	now := time.Now()
+	wallRoute := now.UnixNano()
 	c.mu.Lock()
 	for _, p := range leaves {
 		to, _ := c.ring.OwnerLiveString(p.key, func(q int) bool { return c.aliveLocked(q, now) })
 		p.to = to
 		p.sentAt = now
 		p.first = now
-		p.env.SentNs = now.UnixNano()
+		p.firstWall = wallRoute
+		p.env.SentNs = wallRoute
 		c.pending[p.env.ID] = p
 	}
 	c.mu.Unlock()
@@ -382,6 +538,13 @@ func (c *Coordinator) Search(ctx context.Context, game, position string, depth i
 			c.tm.ShardTasks.Add(1)
 		}
 		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: p.to, Payload: p.env})
+	}
+	if trace != "" {
+		c.cfg.Tracer.Record(reqtrace.Span{
+			Trace: trace, Stage: reqtrace.StageRoute,
+			StartNs: wallRoute, DurNs: time.Now().UnixNano() - wallRoute,
+			Note: fmt.Sprintf("tasks=%d", len(leaves)),
+		})
 	}
 
 	// Await every leaf (reissueLoop handles retries meanwhile).
@@ -397,7 +560,19 @@ func (c *Coordinator) Search(ctx context.Context, game, position string, depth i
 		}
 	}
 
+	wallFold := time.Now().UnixNano()
 	value, best, nodes, err := fold(root)
+	if trace != "" {
+		note := "ok"
+		if err != nil {
+			note = "err"
+		}
+		c.cfg.Tracer.Record(reqtrace.Span{
+			Trace: trace, Stage: reqtrace.StageFold,
+			StartNs: wallFold, DurNs: time.Now().UnixNano() - wallFold,
+			Note: note,
+		})
+	}
 	if err != nil {
 		return engine.Result{}, err
 	}
@@ -418,4 +593,68 @@ func (c *Coordinator) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pending)
+}
+
+// PromSection publishes ring membership, per-worker liveness and the
+// crash-recovery clock for telemetry.Recorder.AddPromSection.
+func (c *Coordinator) PromSection() func(io.Writer) error {
+	return func(w io.Writer) error {
+		now := time.Now()
+		procs := append([]int(nil), c.cfg.Workers...)
+		sort.Ints(procs)
+		alive := make(map[int]bool, len(procs))
+		c.mu.Lock()
+		for _, p := range procs {
+			alive[p] = c.aliveLocked(p, now)
+		}
+		deaths := c.recovery.deaths
+		var recovering int64
+		if c.recovery.deathNs != 0 {
+			recovering = 1
+		}
+		lastNs := c.recovery.lastNs
+		c.mu.Unlock()
+		if err := writeRingMembership(w, procs); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# HELP gametree_shard_worker_alive Per-worker liveness (1 = pings fresher than -shard-dead-after).\n# TYPE gametree_shard_worker_alive gauge\n"); err != nil {
+			return err
+		}
+		for _, p := range procs {
+			v := 0
+			if alive[p] {
+				v = 1
+			}
+			if _, err := fmt.Fprintf(w, "gametree_shard_worker_alive{proc=\"%d\"} %d\n", p, v); err != nil {
+				return err
+			}
+		}
+		if err := telemetry.PromCounter(w, "gametree_shard_worker_deaths_total",
+			"Worker alive-to-dead liveness transitions observed by the coordinator.", deaths); err != nil {
+			return err
+		}
+		if err := telemetry.PromGauge(w, "gametree_shard_recovering",
+			"1 while a detected worker death has not yet passed the p99 recovery test.", recovering); err != nil {
+			return err
+		}
+		return telemetry.PromGauge(w, "gametree_shard_recovery_last_ns",
+			"Duration of the most recent crash recovery: death detection until windowed p99 task RPC latency fell back under threshold.", lastNs)
+	}
+}
+
+// writeRingMembership emits the ring gauges shared by every shard role.
+func writeRingMembership(w io.Writer, procs []int) error {
+	if err := telemetry.PromGauge(w, "gametree_shard_ring_size",
+		"Worker processes in the consistent-hash ring.", int64(len(procs))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# HELP gametree_shard_ring_member Ring membership by processor id.\n# TYPE gametree_shard_ring_member gauge\n"); err != nil {
+		return err
+	}
+	for _, p := range procs {
+		if _, err := fmt.Fprintf(w, "gametree_shard_ring_member{proc=\"%d\"} 1\n", p); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -11,17 +11,20 @@ import (
 	"time"
 
 	"gametree/internal/engine"
+	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/telemetry"
 	"gametree/internal/transport"
 )
 
 type cluster struct {
-	coord    *Coordinator
-	workers  []*Worker
-	nets     []*transport.TCP // index 0 = coordinator
-	coordRec *telemetry.Recorder
-	workRecs []*telemetry.Recorder
+	coord       *Coordinator
+	workers     []*Worker
+	nets        []*transport.TCP // index 0 = coordinator
+	coordRec    *telemetry.Recorder
+	workRecs    []*telemetry.Recorder
+	coordTracer *reqtrace.Tracer
+	workTracers []*reqtrace.Tracer
 }
 
 // newCluster wires a coordinator (proc 0) and n workers (procs 1..n)
@@ -64,6 +67,8 @@ func newCluster(t *testing.T, n int) *cluster {
 	for i := 1; i <= n; i++ {
 		rec := telemetry.NewRecorder()
 		cl.workRecs = append(cl.workRecs, rec)
+		tracer := reqtrace.New(i, "worker", 0, 0)
+		cl.workTracers = append(cl.workTracers, tracer)
 		w := NewWorker(WorkerConfig{
 			Net:          nets[i],
 			Self:         i,
@@ -73,11 +78,13 @@ func newCluster(t *testing.T, n int) *cluster {
 			TableEntries: 1 << 12,
 			PingEvery:    25 * time.Millisecond,
 			Telemetry:    rec,
+			Tracer:       tracer,
 		})
 		w.Start()
 		cl.workers = append(cl.workers, w)
 	}
 	cl.coordRec = telemetry.NewRecorder()
+	cl.coordTracer = reqtrace.New(0, "coordinator", 0, 0)
 	cl.coord = NewCoordinator(Config{
 		Net:         nets[0],
 		Self:        0,
@@ -88,7 +95,9 @@ func newCluster(t *testing.T, n int) *cluster {
 		HelloEvery:  50 * time.Millisecond,
 		PeerAddrs:   addrs,
 		Telemetry:   cl.coordRec,
+		Tracer:      cl.coordTracer,
 	})
+	cl.coordTracer.SetOffsets(cl.coord.ClockOffsets)
 	cl.coord.Start()
 	t.Cleanup(func() {
 		cl.coord.Close()
@@ -290,7 +299,7 @@ func TestShardRemoteTT(t *testing.T) {
 
 func TestShardCodec(t *testing.T) {
 	c := Codec{}
-	in := &Envelope{Kind: KindTask, ID: 7, Game: "random", Pos: "42:5", Depth: 6, SentNs: 123}
+	in := &Envelope{Kind: KindTask, ID: 7, Game: "random", Pos: "42:5", Depth: 6, SentNs: 123, EchoNs: 99, Trace: "tr-1"}
 	b, err := c.Encode(in)
 	if err != nil {
 		t.Fatal(err)

@@ -63,6 +63,17 @@ type Envelope struct {
 	// so the originator can observe round-trip latency without clock
 	// agreement between processes.
 	SentNs int64 `json:"sent_ns,omitempty"`
+
+	// EchoNs echoes the SentNs of the message being answered (a worker's
+	// ping echoing the coordinator's hello). Paired with the answerer's
+	// own SentNs it gives the receiver an NTP-style RTT and clock-offset
+	// sample without any clock agreement.
+	EchoNs int64 `json:"echo_ns,omitempty"`
+
+	// Trace is the request-scoped trace ID (task/result); empty means the
+	// originating request is unsampled. Reissued copies keep the original
+	// ID so a task's whole retry history lands in one trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Codec marshals *Envelope payloads for the transport. Implements

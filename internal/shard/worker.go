@@ -2,12 +2,17 @@ package shard
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gametree/internal/engine"
 	"gametree/internal/faultnet"
+	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/telemetry"
 )
@@ -46,6 +51,9 @@ type WorkerConfig struct {
 	// Telemetry records pool counters on shards 0..PoolWorkers-1 and the
 	// worker's remote-TT counters on shard PoolWorkers. Optional.
 	Telemetry *telemetry.Recorder
+	// Tracer records request-scoped spans (queue/compute/done-cache/
+	// remote-probe) for envelopes carrying a trace ID. Optional.
+	Tracer *reqtrace.Tracer
 
 	// DoneCache bounds the result-dedup cache (default 1024 results).
 	DoneCache int
@@ -84,13 +92,18 @@ type Worker struct {
 	pool  *engine.Pool
 	tm    *telemetry.Shard
 
-	tasks chan *Envelope
+	tasks chan queuedTask
+
+	// curTrace is the trace ID of the task the (single) runLoop is
+	// executing, read by remote-TT probes issued from inside the search.
+	// Always holds a string; empty when idle or the task is unsampled.
+	curTrace atomic.Value
 
 	mu          sync.Mutex
 	inflight    map[uint64]bool
 	doneCache   map[uint64]*Envelope
 	doneOrder   []uint64
-	outstanding map[uint64]time.Time // remote probes in flight, by hash
+	outstanding map[uint64]probeSent // remote probes in flight, by hash
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -98,6 +111,23 @@ type Worker struct {
 
 	closeMu sync.Mutex
 	isClose bool
+}
+
+// queuedTask is one inbound task plus its arrival stamp: recvNs is the
+// wall clock at enqueue for traced tasks (0 otherwise), so the queue
+// span costs nothing on the unsampled path.
+type queuedTask struct {
+	env    *Envelope
+	recvNs int64
+}
+
+// probeSent is one in-flight remote-TT probe's send-side state: the
+// monotonic stamp feeds the RPC histogram, the wall stamp and trace (set
+// only for probes issued under a traced task) feed the remote-probe span.
+type probeSent struct {
+	at     time.Time
+	wallNs int64
+	trace  string
 }
 
 // NewWorker builds a worker over an un-started network. Call Start.
@@ -121,13 +151,14 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		table:       table,
 		pool:        pool,
 		tm:          cfg.Telemetry.Shard(pool.Workers()),
-		tasks:       make(chan *Envelope, cfg.QueueLen),
+		tasks:       make(chan queuedTask, cfg.QueueLen),
 		inflight:    make(map[uint64]bool),
 		doneCache:   make(map[uint64]*Envelope),
-		outstanding: make(map[uint64]time.Time),
+		outstanding: make(map[uint64]probeSent),
 		ctx:         ctx,
 		cancel:      cancel,
 	}
+	w.curTrace.Store("")
 	if table != nil {
 		table.SetRemote(remoteClient{w}, cfg.RemoteMinDepth)
 	}
@@ -199,7 +230,14 @@ func (w *Worker) deliver(pkt faultnet.Packet) {
 		w.table.Store(env.Hash, env.Value, env.Depth, env.Flag, env.Best)
 		if w.tm != nil {
 			w.tm.RemoteHits.Add(1)
-			w.tm.Hist[telemetry.HistShardRPCNs].Observe(time.Since(sent).Nanoseconds())
+			w.tm.Hist[telemetry.HistShardRPCNs].Observe(time.Since(sent.at).Nanoseconds())
+		}
+		if sent.trace != "" {
+			w.cfg.Tracer.Record(reqtrace.Span{
+				Trace: sent.trace, Stage: reqtrace.StageRemoteProbe,
+				StartNs: sent.wallNs, DurNs: time.Now().UnixNano() - sent.wallNs,
+				Note: fmt.Sprintf("hash=%x", env.Hash),
+			})
 		}
 	case KindTTStore:
 		if w.table != nil {
@@ -215,6 +253,14 @@ func (w *Worker) acceptTask(env *Envelope) {
 	w.mu.Lock()
 	if res := w.doneCache[env.ID]; res != nil {
 		w.mu.Unlock()
+		if env.Trace != "" {
+			// Stamp the dedup: a reissued duplicate answered from the
+			// result cache, not recomputed.
+			w.cfg.Tracer.Record(reqtrace.Span{
+				Trace: env.Trace, Stage: reqtrace.StageDoneCache,
+				StartNs: time.Now().UnixNano(), Task: env.ID, Note: "replayed",
+			})
+		}
 		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: res})
 		return
 	}
@@ -224,8 +270,12 @@ func (w *Worker) acceptTask(env *Envelope) {
 	}
 	w.inflight[env.ID] = true
 	w.mu.Unlock()
+	qt := queuedTask{env: env}
+	if env.Trace != "" {
+		qt.recvNs = time.Now().UnixNano()
+	}
 	select {
-	case w.tasks <- env:
+	case w.tasks <- qt:
 	default:
 		w.mu.Lock()
 		delete(w.inflight, env.ID)
@@ -234,6 +284,15 @@ func (w *Worker) acceptTask(env *Envelope) {
 }
 
 func (w *Worker) applyHello(env *Envelope) {
+	// Pong the hello: echoing its SentNs alongside our own send stamp
+	// gives the coordinator an NTP-style RTT and clock-offset sample on
+	// every hello round. The pong is an ordinary ping, so it also
+	// freshens our liveness for free.
+	if env.SentNs != 0 {
+		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: &Envelope{
+			Kind: KindPing, SentNs: time.Now().UnixNano(), EchoNs: env.SentNs,
+		}})
+	}
 	ps, ok := w.cfg.Net.(PeerSetter)
 	if !ok {
 		return
@@ -253,13 +312,32 @@ func (w *Worker) runLoop() {
 		select {
 		case <-w.ctx.Done():
 			return
-		case env := <-w.tasks:
-			w.runTask(env)
+		case qt := <-w.tasks:
+			w.runTask(qt)
 		}
 	}
 }
 
-func (w *Worker) runTask(env *Envelope) {
+func (w *Worker) runTask(qt queuedTask) {
+	env := qt.env
+	traced := env.Trace != ""
+	var startWall int64
+	if traced {
+		startWall = time.Now().UnixNano()
+		w.cfg.Tracer.Record(reqtrace.Span{
+			Trace: env.Trace, Stage: reqtrace.StageQueue,
+			StartNs: qt.recvNs, DurNs: startWall - qt.recvNs, Task: env.ID,
+		})
+		w.curTrace.Store(env.Trace)
+		defer func() {
+			w.curTrace.Store("")
+			w.cfg.Tracer.Record(reqtrace.Span{
+				Trace: env.Trace, Stage: reqtrace.StageCompute,
+				StartNs: startWall, DurNs: time.Now().UnixNano() - startWall,
+				Task: env.ID,
+			})
+		}()
+	}
 	res := &Envelope{Kind: KindResult, ID: env.ID}
 	pos, _, err := serve.ParsePosition(env.Game, env.Pos)
 	if err != nil {
@@ -310,6 +388,21 @@ func (w *Worker) sendPing() {
 	}})
 }
 
+// PromSection publishes this worker's view of the ring (membership plus
+// its own id) for telemetry.Recorder.AddPromSection, so every role's
+// /metrics answers "who is in the ring" without asking the coordinator.
+func (w *Worker) PromSection() func(io.Writer) error {
+	return func(out io.Writer) error {
+		procs := append([]int(nil), w.cfg.Workers...)
+		sort.Ints(procs)
+		if err := writeRingMembership(out, procs); err != nil {
+			return err
+		}
+		return telemetry.PromGauge(out, "gametree_shard_self_proc",
+			"This process's shard processor id.", int64(w.cfg.Self))
+	}
+}
+
 // remoteWindowTTL ages out probe-window slots whose replies never came
 // (owner down, frame dropped), so losses cannot wedge the window shut.
 const remoteWindowTTL = time.Second
@@ -335,7 +428,7 @@ func (r remoteClient) Probe(hash uint64, depth int) {
 	if len(w.outstanding) >= w.cfg.RemoteWindow {
 		// Window full: purge aged slots, and if still full, skip.
 		for h, sent := range w.outstanding {
-			if now.Sub(sent) > remoteWindowTTL {
+			if now.Sub(sent.at) > remoteWindowTTL {
 				delete(w.outstanding, h)
 			}
 		}
@@ -347,7 +440,12 @@ func (r remoteClient) Probe(hash uint64, depth int) {
 			return
 		}
 	}
-	w.outstanding[hash] = now
+	sent := probeSent{at: now}
+	if trace, _ := w.curTrace.Load().(string); trace != "" {
+		sent.trace = trace
+		sent.wallNs = now.UnixNano()
+	}
+	w.outstanding[hash] = sent
 	w.mu.Unlock()
 	if w.tm != nil {
 		w.tm.RemoteProbes.Add(1)

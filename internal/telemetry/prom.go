@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 
 	"gametree/internal/metrics"
 )
@@ -195,6 +197,38 @@ func (r *Recorder) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// BuildInfoSection returns an AddPromSection-compatible writer
+// publishing the process's build identity as the conventional
+// constant-1 info gauge: gametree_build_info{go_version=...,
+// revision=...} 1. The revision is the VCS commit stamped by the Go
+// toolchain at build time ("unknown" for test binaries and go-run
+// builds, "+dirty" appended when the working tree was modified).
+func BuildInfoSection() func(io.Writer) error {
+	goVer := runtime.Version()
+	rev := "unknown"
+	dirty := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+	}
+	line := fmt.Sprintf("gametree_build_info{go_version=%q,revision=%q} 1\n", goVer, rev+dirty)
+	return func(w io.Writer) error {
+		if err := promHeader(w, "gametree_build_info", "Build identity; value is always 1.", "gauge"); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, line)
+		return err
+	}
 }
 
 // PromHandler serves a live recorder as a Prometheus /metrics endpoint.

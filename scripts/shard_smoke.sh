@@ -10,17 +10,24 @@
 #     known draw value (0), fanned out across both workers;
 #   - a mixed random workload with duplicate traffic completes, and the
 #     coordinator's /metrics shows shard task dispatch;
+#   - distributed tracing: a burst of X-GT-Trace'd requests is fired and
+#     gtobs pulls the merged ring trace WHILE the burst is running; the
+#     merged view must contain spans from all three processes, at least
+#     one request must have left spans in the coordinator AND both
+#     workers, and the per-stage histograms must reach /metrics;
 #   - crash recovery: worker 2 is killed with SIGKILL in the middle of a
 #     burst; the burst must still complete with every value exact (the
-#     coordinator reissues orphaned tasks to the survivor), and a fresh
-#     exact-value burst against the degraded ring must pass;
+#     coordinator reissues orphaned tasks to the survivor), a fresh
+#     exact-value burst against the degraded ring must pass, and the
+#     coordinator's death/recovery gauges must have registered the kill;
 #   - scaling (only when the host has >1 CPU): the same CPU-bound
 #     workload through a 2-worker ring must reach >= 1.3x the qps of a
 #     1-worker ring. Single-CPU hosts skip the ratio, not the gate.
 #
 # Artifacts (process logs, /metrics scrapes from all three processes,
-# gtload transcripts) land in shard-smoke-artifacts/ (override:
-# ARTIFACT_DIR).
+# gtload transcripts, the merged Chrome/Perfetto ring trace, the
+# per-request latency breakdown, and the coordinator's JSONL access
+# log) land in shard-smoke-artifacts/ (override: ARTIFACT_DIR).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +43,7 @@ trap cleanup EXIT
 
 go build -race -o "$BIN/gtserve" ./cmd/gtserve
 go build -race -o "$BIN/gtload" ./cmd/gtload
+go build -race -o "$BIN/gtobs" ./cmd/gtobs
 
 wait_file() { # wait_file <path> [tries]
     local tries=${2:-100}
@@ -66,7 +74,8 @@ start_coordinator() { # start_coordinator <peers> <procs>
     # crash gauntlet would prove nothing.
     "$BIN/gtserve" -role coordinator -shard-peers "$1" -shard-procs "$2" \
         -shard-listen 127.0.0.1:0 -addr 127.0.0.1:0 -portfile "$BIN/c.http" \
-        -pools 4 -cache -1 -task-timeout 500ms 2>>"$ART/coordinator.log" &
+        -pools 4 -cache -1 -task-timeout 500ms \
+        -access-log "$ART/access.jsonl" 2>>"$ART/coordinator.log" &
     PIDS+=($!)
     CPID=$!
     wait_file "$BIN/c.http"
@@ -104,6 +113,49 @@ tasks=$(awk '/^gametree_shard_tasks_total /{print $2}' "$ART/coordinator-metrics
 grep -q '^gametree_shard_tasks_total ' "$ART/worker1-metrics.prom"
 grep -q '^gametree_shard_rpc_ns_bucket' "$ART/coordinator-metrics.prom"
 
+echo "== distributed trace: merged ring view pulled mid-burst =="
+"$BIN/gtload" -url "$URL" -game random -depth 6 -dup 0 -clients 2 \
+    -duration 3s -shards 2 -trace smoke >"$ART/gtload-traced.txt" 2>&1 &
+LOAD=$!
+sleep 1.5
+# Pull a merged view WHILE the burst is running: every ring process
+# must answer /debug/gttrace under load.
+"$BIN/gtobs" -ring "$URL,$W1HTTP,$W2HTTP" -out "$ART/ring-midburst.trace.json" \
+    -trace smoke >/dev/null 2>"$ART/gtobs-midburst.log" \
+    || { cat "$ART/gtobs-midburst.log"; echo "shard_smoke: mid-burst gtobs pull failed"; exit 1; }
+wait "$LOAD" || { cat "$ART/gtload-traced.txt"; echo "shard_smoke: traced burst failed"; exit 1; }
+cat "$ART/gtload-traced.txt"
+# The settled view is the artifact of record: Chrome/Perfetto file plus
+# the per-request latency-breakdown table.
+"$BIN/gtobs" -ring "$URL,$W1HTTP,$W2HTTP" -out "$ART/ring.trace.json" \
+    -trace smoke >"$ART/ring-breakdown.txt" 2>"$ART/gtobs.log"
+cat "$ART/gtobs.log"
+grep -Eq 'merged [0-9]+ spans from procs \[0 1 2\]' "$ART/gtobs.log" \
+    || { echo "shard_smoke: merged trace is missing a ring process"; exit 1; }
+# At least one request must have left spans in ALL THREE processes —
+# the coordinator's expand/route/fold plus compute spans on both
+# workers (the depth-6 fan-out straddles both shards).
+curl -fsS "$URL/debug/gttrace" >"$ART/gttrace-coordinator.json"
+curl -fsS "$W1HTTP/debug/gttrace" >"$ART/gttrace-worker1.json"
+curl -fsS "$W2HTTP/debug/gttrace" >"$ART/gttrace-worker2.json"
+trace_ids() { grep -o '"trace":"smoke-[0-9]*"' "$1" | sort -u; }
+common=$(comm -12 <(trace_ids "$ART/gttrace-coordinator.json") \
+    <(comm -12 <(trace_ids "$ART/gttrace-worker1.json") \
+                <(trace_ids "$ART/gttrace-worker2.json")))
+[ -n "$common" ] || { echo "shard_smoke: no single request traced across all three processes"; exit 1; }
+echo "shard_smoke: $(echo "$common" | wc -l) requests traced across all three processes"
+grep -q '"name":"expand"' "$ART/ring.trace.json" \
+    || { echo "shard_smoke: merged trace has no coordinator expand span"; exit 1; }
+grep -q '"name":"compute"' "$ART/ring.trace.json" \
+    || { echo "shard_smoke: merged trace has no worker compute span"; exit 1; }
+# Per-stage latency histograms feed /metrics on the coordinator.
+curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-traced.prom"
+grep -q 'gametree_shard_stage_ns_bucket{stage="rpc"' "$ART/coordinator-metrics-traced.prom" \
+    || { echo "shard_smoke: stage histogram missing from /metrics"; exit 1; }
+# The traced requests also flowed through the JSONL access log.
+grep -q '"outcome":"search"' "$ART/access.jsonl" \
+    || { echo "shard_smoke: access log missing search entries"; exit 1; }
+
 echo "== kill -9 worker 2 mid-burst: values must stay exact =="
 "$BIN/gtload" -url "$URL" -game ttt -depth 9 -clients 4 -duration 6s \
     -deadline 8s -expect 0 -shards 2 >"$ART/gtload-crash.txt" 2>&1 &
@@ -123,6 +175,25 @@ curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-postcrash.prom"
 # survivor — the burst staying exact is the effect, this is the cause.
 reissues=$(awk '/^gametree_shard_reissues_total /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
 [ "${reissues:-0}" -gt 0 ] || { echo "shard_smoke: no task reissues after worker crash"; exit 1; }
+# The liveness sweep must have registered the kill, and once the
+# post-death RPC p99 settles under threshold the recovery gauge closes
+# with the detection-to-settled wall time. The degraded burst above
+# supplies the completions; give the gauge a beat to close.
+deaths=0
+for _ in $(seq 1 50); do
+    curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-postcrash.prom"
+    deaths=$(awk '/^gametree_shard_worker_deaths_total /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
+    recovering=$(awk '/^gametree_shard_recovering /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
+    [ "${deaths:-0}" -gt 0 ] && [ "${recovering:-1}" -eq 0 ] && break
+    # The gauge closes on RPC completions; keep a trickle flowing.
+    curl -fsS -X POST "$URL/v1/search" \
+        -d '{"game":"ttt","depth":5}' >/dev/null 2>&1 || true
+    sleep 0.2
+done
+[ "${deaths:-0}" -gt 0 ] || { echo "shard_smoke: worker death never registered in deaths_total"; exit 1; }
+recovery_ns=$(awk '/^gametree_shard_recovery_last_ns /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
+echo "shard_smoke: deaths=$deaths recovering=${recovering:-?} recovery_last_ns=${recovery_ns:-?}" \
+    | tee "$ART/recovery.txt"
 
 echo "== scaling ratio: 2-worker ring vs 1-worker ring (CPU-gated) =="
 for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
