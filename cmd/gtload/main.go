@@ -66,6 +66,7 @@ type config struct {
 	hasExpect bool
 	out       string
 	label     string
+	chaos     bool
 
 	trace string // X-GT-Trace prefix; "" = no header
 }
@@ -82,6 +83,7 @@ type counters struct {
 	dropped   atomic.Int64 // open loop: client-side inflight cap hit
 	cached    atomic.Int64
 	coalesced atomic.Int64
+	degraded  atomic.Int64 // 200s answered in degraded mode (ring empty, local fallback)
 	nodes     atomic.Int64
 
 	latency metrics.Histogram
@@ -174,6 +176,7 @@ type outcome struct {
 	nodes     int64
 	cached    bool
 	coalesced bool
+	degraded  bool
 }
 
 // httpIssuer drives a gtserve instance.
@@ -220,6 +223,7 @@ func (h *httpIssuer) issue(ctx context.Context, position string) outcome {
 		nodes:     sr.Nodes,
 		cached:    sr.Cached,
 		coalesced: sr.Coalesced,
+		degraded:  sr.Degraded,
 	}
 }
 
@@ -279,7 +283,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "worker processes behind the server, stamped on the benchmark row (0 = single process)")
 	expect := flag.String("expect", "", "assert every completed value equals this integer")
 	flag.StringVar(&cfg.out, "out", "", "append a run to this benchfmt JSON document")
-	flag.StringVar(&cfg.label, "label", "", "run label (default: baseline | serve)")
+	flag.StringVar(&cfg.label, "label", "", "run label (default: baseline | serve, or chaos with -chaos)")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "fault-drill run: label the row chaos and report the degraded-mode request count")
 	flag.StringVar(&cfg.trace, "trace", "", "send X-GT-Trace: <prefix>-<n> on every request, force-sampling them for /debug/gttrace")
 	flag.Parse()
 
@@ -299,9 +304,12 @@ func main() {
 		cfg.hasExpect = true
 	}
 	if cfg.label == "" {
-		if cfg.baseline {
+		switch {
+		case cfg.chaos:
+			cfg.label = "chaos"
+		case cfg.baseline:
 			cfg.label = "baseline"
-		} else {
+		default:
 			cfg.label = "serve"
 		}
 	}
@@ -411,6 +419,9 @@ func one(ctx context.Context, cfg config, w *workload, is issuer, c *counters) {
 		if out.coalesced {
 			c.coalesced.Add(1)
 		}
+		if out.degraded {
+			c.degraded.Add(1)
+		}
 		c.recordValue(out.key, out.value)
 	case 429:
 		c.shed429.Add(1)
@@ -442,9 +453,9 @@ func report(cfg config, c *counters, wall time.Duration) bool {
 	}
 	fmt.Printf("gtload: issued=%d completed=%d qps=%.1f p50=%s p99=%s\n",
 		issued, completed, qps, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
-	fmt.Printf("gtload: shed_429=%d shed_503=%d timeout_504=%d failed=%d dropped=%d cached=%d coalesced=%d\n",
+	fmt.Printf("gtload: shed_429=%d shed_503=%d timeout_504=%d failed=%d dropped=%d cached=%d coalesced=%d degraded=%d\n",
 		c.shed429.Load(), c.shed503.Load(), c.timeout.Load(), c.failed.Load(),
-		c.dropped.Load(), c.cached.Load(), c.coalesced.Load())
+		c.dropped.Load(), c.cached.Load(), c.coalesced.Load(), c.degraded.Load())
 
 	ok := true
 	if completed == 0 {
@@ -491,6 +502,7 @@ func writeRun(cfg config, c *counters, wall time.Duration) error {
 		item.NodesPerOp = float64(c.nodes.Load()) / float64(completed)
 		item.NodesPerSec = float64(c.nodes.Load()) / wall.Seconds()
 	}
+	item.Degraded = int(c.degraded.Load())
 
 	doc := &benchfmt.Doc{Schema: benchfmt.SchemaV2}
 	if _, statErr := os.Stat(cfg.out); statErr == nil {

@@ -79,6 +79,9 @@ type options struct {
 	shardProcs    string
 	expandDepth   int
 	taskTimeout   time.Duration
+	deadAfter     time.Duration
+	taskRetries   int
+	localFallback bool
 
 	traceSample int
 	accessLog   string
@@ -108,7 +111,10 @@ func main() {
 	flag.IntVar(&o.shardProc, "shard-proc", 0, "worker: this process's shard processor id (> 0)")
 	flag.StringVar(&o.shardProcs, "shard-procs", "", "comma-separated worker processor ids forming the ring (default: derived from -shard-peers); must agree across all processes")
 	flag.IntVar(&o.expandDepth, "expand-depth", 1, "coordinator: plies expanded before fan-out")
-	flag.DurationVar(&o.taskTimeout, "task-timeout", 2*time.Second, "coordinator: per-task reissue timeout")
+	flag.DurationVar(&o.taskTimeout, "task-timeout", 2*time.Second, "coordinator: per-task reissue timeout (base of the retry backoff)")
+	flag.DurationVar(&o.deadAfter, "dead-after", 3*time.Second, "coordinator: declare a worker dead after this much ping silence")
+	flag.IntVar(&o.taskRetries, "task-retries", 6, "coordinator: reissues per task before it is quarantined")
+	flag.BoolVar(&o.localFallback, "local-fallback", true, "coordinator: compute leaves on a resident local pool when the ring is empty or a task exhausts its retries (degraded mode, exact answers)")
 
 	flag.IntVar(&o.traceSample, "trace-sample", 0, "record request spans for 1-in-N headerless requests (0 = only requests with an X-GT-Trace header, 1 = all)")
 	flag.StringVar(&o.accessLog, "access-log", "", "append one JSON line per request to this file")

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"gametree/internal/engine"
 	"gametree/internal/reqtrace"
 	"gametree/internal/serve"
 	"gametree/internal/shard"
@@ -139,12 +140,22 @@ func runCoordinator(o options) int {
 		peersWithSelf[p] = a
 	}
 	tracer := reqtrace.New(0, "coordinator", o.traceSample, 0)
+	// The degraded-mode pool must outlive the coordinator (which may hold
+	// in-flight local searches at Close), so its defer registers first.
+	var fallback *engine.Pool
+	if o.localFallback {
+		fallback = engine.NewPoolOpt(engine.SearchOptions{Workers: o.workers}, 0)
+		defer fallback.Close()
+	}
 	coord := shard.NewCoordinator(shard.Config{
 		Net:         tr,
 		Self:        0,
 		Workers:     procs,
 		ExpandDepth: o.expandDepth,
 		TaskTimeout: o.taskTimeout,
+		DeadAfter:   o.deadAfter,
+		RetryBudget: o.taskRetries,
+		Fallback:    fallback,
 		PeerAddrs:   peersWithSelf,
 		Telemetry:   rec,
 		Tracer:      tracer,
@@ -208,16 +219,17 @@ func runWorker(o options) int {
 	}
 	tracer := reqtrace.New(o.shardProc, "worker", o.traceSample, 0)
 	w := shard.NewWorker(shard.WorkerConfig{
-		Net:          tr,
-		Self:         o.shardProc,
-		Coordinator:  0,
-		Workers:      procs,
-		PoolWorkers:  o.workers,
-		TableEntries: o.tableSize,
-		SplitHorizon: o.horizon,
-		SpineOnly:    o.spineOnly,
-		Telemetry:    rec,
-		Tracer:       tracer,
+		Net:           tr,
+		Self:          o.shardProc,
+		Coordinator:   0,
+		Workers:       procs,
+		PoolWorkers:   o.workers,
+		TableEntries:  o.tableSize,
+		SplitHorizon:  o.horizon,
+		SpineOnly:     o.spineOnly,
+		AdvertiseAddr: tr.Addr(),
+		Telemetry:     rec,
+		Tracer:        tracer,
 	})
 	rec.AddPromSection(telemetry.BuildInfoSection())
 	rec.AddPromSection(tracer.PromSection())

@@ -70,6 +70,10 @@ type Item struct {
 	P50Ns   float64 `json:"p50_ns,omitempty"`
 	P99Ns   float64 `json:"p99_ns,omitempty"`
 	ErrRate float64 `json:"err_rate,omitempty"`
+	// Degraded counts 200s answered in degraded mode (shard ring empty,
+	// coordinator fell back to local compute) — exact values, reduced
+	// capacity. Nonzero only for chaos/fault rows.
+	Degraded int `json:"degraded,omitempty"`
 }
 
 // Key identifies the configuration a row measures, for aligning rows

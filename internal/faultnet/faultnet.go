@@ -69,11 +69,13 @@ type Stats struct {
 	Delayed      int64 `json:"delayed"`       // packets held back before delivery
 	Reordered    int64 `json:"reordered"`     // packets given overtaking jitter
 	CrashDropped int64 `json:"crash_dropped"` // lost because an endpoint had crashed
+
+	PartitionDropped int64 `json:"partition_dropped,omitempty"` // lost inside a scheduled link partition window
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("sent=%d delivered=%d dropped=%d duplicated=%d delayed=%d reordered=%d crash_dropped=%d",
-		s.Sent, s.Delivered, s.Dropped, s.Duplicated, s.Delayed, s.Reordered, s.CrashDropped)
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d duplicated=%d delayed=%d reordered=%d crash_dropped=%d partition_dropped=%d",
+		s.Sent, s.Delivered, s.Dropped, s.Duplicated, s.Delayed, s.Reordered, s.CrashDropped, s.PartitionDropped)
 }
 
 // Perfect is the lossless network: Send delivers synchronously on the

@@ -134,6 +134,58 @@ func TestInjectorCrashDropsTraffic(t *testing.T) {
 	}
 }
 
+// TestInjectorPartitionWindow: during the scheduled window both
+// directions of the A-B link blackhole while every other link keeps
+// flowing; after the window the link heals. Partition drops must bypass
+// the per-link PRNG lanes entirely (like crash drops), so an event log
+// recorded under a partition stays aligned with a partition-free replay.
+func TestInjectorPartitionWindow(t *testing.T) {
+	in := NewInjector(Config{
+		Seed:       1,
+		Partitions: []LinkPartition{{A: 0, B: 1, At: 0, For: 100 * time.Millisecond}},
+
+		LogEvents: true,
+	})
+	var delivered atomic.Int64
+	in.Start(func(Packet) { delivered.Add(1) })
+	defer in.Close()
+
+	// Inside the window: 0<->1 is severed both ways, 0<->2 is not, and
+	// both endpoints are still alive (a partition is not a crash).
+	in.Send(Packet{From: 0, To: 1, Payload: 1})
+	in.Send(Packet{From: 1, To: 0, Payload: 2})
+	in.Send(Packet{From: 0, To: 2, Payload: 3})
+	in.Send(Packet{From: 2, To: 1, Payload: 4})
+	if !in.Alive(0) || !in.Alive(1) {
+		t.Fatal("partitioned endpoints should stay alive")
+	}
+	if got := delivered.Load(); got != 2 {
+		t.Fatalf("delivered %d during window, want only the 0->2 and 2->1 packets", got)
+	}
+	if pd := in.Stats().PartitionDropped; pd != 2 {
+		t.Fatalf("partition_dropped %d, want 2", pd)
+	}
+	// Blackholed sends never reached the lanes: the decision log holds
+	// only the two packets that flowed, so replays stay aligned.
+	if ev := in.Events(); len(ev) != 2 {
+		t.Fatalf("event log has %d entries, want 2 (partition drops must not consume lane decisions): %+v", len(ev), ev)
+	}
+
+	// After the window the link heals.
+	deadline := time.Now().Add(5 * time.Second)
+	for in.partitioned(0, 1, time.Now()) {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Send(Packet{From: 0, To: 1, Payload: 5})
+	in.Send(Packet{From: 1, To: 0, Payload: 6})
+	if got := delivered.Load(); got != 4 {
+		t.Fatalf("delivered %d after heal, want 4", got)
+	}
+}
+
 func TestInjectorStallWindow(t *testing.T) {
 	in := NewInjector(Config{Seed: 1, Stalls: []ProcStall{{Proc: 1, At: 0, For: 50 * time.Millisecond}}})
 	in.Start(func(Packet) {})
@@ -242,6 +294,10 @@ func TestValidate(t *testing.T) {
 		{Crashes: []ProcCrash{{Proc: -1}}}, // negative proc
 		{Stalls: []ProcStall{{Proc: 0, At: 0, For: 0}}},  // zero stall
 		{Stalls: []ProcStall{{Proc: 0, At: -1, For: 1}}}, // negative start
+		{Partitions: []LinkPartition{{A: -1, B: 2, For: 1}}},       // negative proc
+		{Partitions: []LinkPartition{{A: 2, B: 2, For: 1}}},        // self link
+		{Partitions: []LinkPartition{{A: 0, B: 1, For: 0}}},        // zero window
+		{Partitions: []LinkPartition{{A: 0, B: 1, At: -1, For: 1}}}, // negative start
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -273,6 +329,14 @@ func TestParseSpec(t *testing.T) {
 	}
 	if cfg.Seed != 7 {
 		t.Fatalf("seed wrong: %d", cfg.Seed)
+	}
+
+	cfg, err = ParseSpec("partition=1-2@50ms+200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Partitions) != 1 || cfg.Partitions[0] != (LinkPartition{A: 1, B: 2, At: 50 * time.Millisecond, For: 200 * time.Millisecond}) {
+		t.Fatalf("partition wrong: %+v", cfg.Partitions)
 	}
 
 	// delay without delayp means "always delay, bounded".
@@ -314,12 +378,12 @@ func TestParseSpec(t *testing.T) {
 }
 
 func TestSummary(t *testing.T) {
-	cfg, err := ParseSpec("drop=0.1,crash=3@50ms,seed=7")
+	cfg, err := ParseSpec("drop=0.1,crash=3@50ms,partition=1-2@50ms+200ms,seed=7")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := cfg.Summary()
-	for _, want := range []string{"drop=10%", "crash=[3@50ms]", "seed=7"} {
+	for _, want := range []string{"drop=10%", "crash=[3@50ms]", "partition=[1-2@50ms+200ms]", "seed=7"} {
 		if !bytes.Contains([]byte(s), []byte(want)) {
 			t.Errorf("summary %q missing %q", s, want)
 		}

@@ -28,6 +28,21 @@ type ProcStall struct {
 	For  time.Duration `json:"for"`
 }
 
+// LinkPartition schedules a bidirectional link blackhole: from At to
+// At+For after the network starts, every packet between processors A
+// and B — either direction — is silently dropped; the link heals when
+// the window closes. Both endpoints stay alive and keep talking to the
+// rest of the machine, which is what distinguishes a partition from a
+// crash or a stall. Like crash drops, partition drops are counted in
+// Stats but never consume a per-link PRNG decision and never appear in
+// the event log, so the replay log stays aligned across runs.
+type LinkPartition struct {
+	A   int           `json:"a"`
+	B   int           `json:"b"`
+	At  time.Duration `json:"at"`
+	For time.Duration `json:"for"`
+}
+
 // Config describes the fault mix for an Injector.
 type Config struct {
 	// Seed keys every per-link PRNG lane. Two injectors with the same seed
@@ -49,6 +64,9 @@ type Config struct {
 	// wall-clock timer from Start.
 	Crashes []ProcCrash `json:"crashes,omitempty"`
 	Stalls  []ProcStall `json:"stalls,omitempty"`
+
+	// Partitions are scheduled bidirectional link blackholes.
+	Partitions []LinkPartition `json:"partitions,omitempty"`
 
 	// LogEvents records every per-link fault decision for replay
 	// verification; MaxLogEvents bounds memory (0 = 1<<16 entries).
@@ -97,6 +115,17 @@ func (c Config) Validate() error {
 		}
 		if st.At < 0 || st.For <= 0 {
 			return fmt.Errorf("faultnet: stall of processor %d needs at>=0 and for>0 (got at=%v for=%v)", st.Proc, st.At, st.For)
+		}
+	}
+	for _, pt := range c.Partitions {
+		if pt.A < 0 || pt.B < 0 {
+			return fmt.Errorf("faultnet: partition of negative processor (%d-%d)", pt.A, pt.B)
+		}
+		if pt.A == pt.B {
+			return fmt.Errorf("faultnet: partition %d-%d needs two distinct processors", pt.A, pt.B)
+		}
+		if pt.At < 0 || pt.For <= 0 {
+			return fmt.Errorf("faultnet: partition %d-%d needs at>=0 and for>0 (got at=%v for=%v)", pt.A, pt.B, pt.At, pt.For)
 		}
 	}
 	return nil
@@ -191,6 +220,7 @@ type Injector struct {
 
 	stats struct {
 		sent, delivered, dropped, duplicated, delayed, reordered, crashDropped atomic.Int64
+		partitionDropped                                                       atomic.Int64
 	}
 }
 
@@ -256,10 +286,31 @@ func (in *Injector) StalledUntil(proc int) (time.Time, bool) {
 	return time.Time{}, false
 }
 
+// partitioned reports whether the (from,to) link sits inside an active
+// partition window at time now. Checked before the lane draw — like the
+// crash gate — so partition drops consume no PRNG indices and the
+// per-link decision log stays replayable with or without the partition.
+func (in *Injector) partitioned(from, to int, now time.Time) bool {
+	for _, pt := range in.cfg.Partitions {
+		if (pt.A != from || pt.B != to) && (pt.A != to || pt.B != from) {
+			continue
+		}
+		begin := in.start.Add(pt.At)
+		if !now.Before(begin) && now.Before(begin.Add(pt.For)) {
+			return true
+		}
+	}
+	return false
+}
+
 func (in *Injector) Send(pkt Packet) {
 	in.stats.sent.Add(1)
 	if !in.Alive(pkt.From) || !in.Alive(pkt.To) {
 		in.stats.crashDropped.Add(1)
+		return
+	}
+	if in.partitioned(pkt.From, pkt.To, time.Now()) {
+		in.stats.partitionDropped.Add(1)
 		return
 	}
 
@@ -346,6 +397,12 @@ func (in *Injector) deliverNow(pkt Packet) {
 		in.stats.crashDropped.Add(1)
 		return
 	}
+	// A delayed packet is still "on the link": a partition window that
+	// opens while it is in flight severs it.
+	if in.partitioned(pkt.From, pkt.To, time.Now()) {
+		in.stats.partitionDropped.Add(1)
+		return
+	}
 	in.stats.delivered.Add(1)
 	in.deliver(pkt)
 }
@@ -416,6 +473,8 @@ func (in *Injector) Stats() Stats {
 		Delayed:      in.stats.delayed.Load(),
 		Reordered:    in.stats.reordered.Load(),
 		CrashDropped: in.stats.crashDropped.Load(),
+
+		PartitionDropped: in.stats.partitionDropped.Load(),
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 //	delayp=P   delay probability, 0..1
 //	crash=N@T  processor N crashes T after start (repeatable)
 //	stall=N@T+D  processor N freezes at T for D (repeatable)
+//	partition=A-B@T+D  the A<->B link blackholes at T for D, both
+//	           directions, healing after (repeatable)
 //	seed=N     PRNG seed (default 1)
 //
 // The returned Config is already validated.
@@ -78,6 +80,36 @@ func ParseSpec(spec string) (Config, error) {
 				return cfg, fmt.Errorf("faults: stall duration %q must be a positive duration like 30ms", dur)
 			}
 			cfg.Stalls = append(cfg.Stalls, ProcStall{Proc: proc, At: at, For: d})
+		case "partition":
+			pair, window, ok := strings.Cut(val, "@")
+			if !ok {
+				return cfg, fmt.Errorf("faults: partition=%q must be procA-procB@start+duration like 1-2@50ms+200ms", val)
+			}
+			as, bs, ok := strings.Cut(pair, "-")
+			if !ok {
+				return cfg, fmt.Errorf("faults: partition=%q must name two processors like 1-2@50ms+200ms", val)
+			}
+			a, errA := strconv.Atoi(as)
+			b, errB := strconv.Atoi(bs)
+			if errA != nil || errB != nil || a < 0 || b < 0 {
+				return cfg, fmt.Errorf("faults: partition=%q has a bad processor id (want e.g. 1-2@50ms+200ms)", val)
+			}
+			if a == b {
+				return cfg, fmt.Errorf("faults: partition=%q must name two distinct processors", val)
+			}
+			ts, ds, ok := strings.Cut(window, "+")
+			if !ok {
+				return cfg, fmt.Errorf("faults: partition=%q must schedule a window like 1-2@50ms+200ms", val)
+			}
+			at, err := time.ParseDuration(ts)
+			if err != nil || at < 0 {
+				return cfg, fmt.Errorf("faults: partition start %q must be a non-negative duration like 50ms", ts)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("faults: partition duration %q must be a positive duration like 200ms", ds)
+			}
+			cfg.Partitions = append(cfg.Partitions, LinkPartition{A: a, B: b, At: at, For: d})
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
@@ -85,7 +117,7 @@ func ParseSpec(spec string) (Config, error) {
 			}
 			cfg.Seed = n
 		default:
-			return cfg, fmt.Errorf("faults: unknown key %q (known: drop dup reorder delay delayp crash stall seed)", key)
+			return cfg, fmt.Errorf("faults: unknown key %q (known: drop dup reorder delay delayp crash stall partition seed)", key)
 		}
 	}
 	if cfg.DelayMax > 0 {
@@ -141,6 +173,9 @@ func (c Config) Summary() string {
 	}
 	for _, st := range c.Stalls {
 		parts = append(parts, fmt.Sprintf("stall=[%d@%v+%v]", st.Proc, st.At, st.For))
+	}
+	for _, pt := range c.Partitions {
+		parts = append(parts, fmt.Sprintf("partition=[%d-%d@%v+%v]", pt.A, pt.B, pt.At, pt.For))
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
 	return strings.Join(parts, " ")

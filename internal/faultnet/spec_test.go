@@ -30,6 +30,14 @@ func TestParseSpecErrorPaths(t *testing.T) {
 		{"stall missing duration", "stall=1@5ms", "stall"},
 		{"stall zero duration", "stall=1@5ms+0s", "positive duration"},
 		{"stall bad start", "stall=x@5ms+1ms", "stall"},
+		{"partition missing window", "partition=1-2", "partition"},
+		{"partition missing peer", "partition=1@5ms+1ms", "partition"},
+		{"partition bad proc", "partition=a-2@5ms+1ms", "partition"},
+		{"partition negative proc", "partition=-1-2@5ms+1ms", "partition"},
+		{"partition self link", "partition=2-2@5ms+1ms", "distinct"},
+		{"partition missing duration", "partition=1-2@5ms", "partition"},
+		{"partition zero duration", "partition=1-2@5ms+0s", "positive duration"},
+		{"partition bad start", "partition=1-2@soon+1ms", "partition start"},
 		{"seed not integer", "seed=1.5", "seed"},
 		{"seed empty", "seed=", "seed"},
 		{"unknown knob", "wibble=1", "unknown key"},
@@ -58,6 +66,7 @@ func TestParseSpecErrorPaths(t *testing.T) {
 		"drop=1",
 		"delay=1ns",
 		"crash=0@0s",
+		"partition=0-1@0s+1ns",
 		" drop=0.5 , dup=0.25 ,",
 	} {
 		if _, err := ParseSpec(good); err != nil {

@@ -62,6 +62,8 @@ const (
 	StageDoneCache   = "done-cache"   // worker: a reissued duplicate re-answered from the result cache
 	StageRemoteProbe = "remote-probe" // worker: remote TT probe, send to reply
 	StageReissue     = "reissue"      // coordinator: a stale task re-sent to a ring successor
+	StageRejoin      = "rejoin"       // coordinator: a worker admitted back; DurNs is the outage when one preceded
+	StageLocal       = "local"        // coordinator: a leaf computed on the fallback pool (degraded mode)
 )
 
 // stageIndex maps a stage name onto its histogram slot. Unknown stages
@@ -70,7 +72,7 @@ const (
 var stageNames = [...]string{
 	StageRequest, StageQueue, StageSearch, StageExpand, StageRoute,
 	StageRPC, StageFold, StageCompute, StageDoneCache, StageRemoteProbe,
-	StageReissue,
+	StageReissue, StageRejoin, StageLocal,
 }
 
 func stageIndex(stage string) int {

@@ -23,9 +23,10 @@ import (
 // flightCall is one in-flight search: joiners block on done and read
 // res/err afterwards (the channel close is the happens-before edge).
 type flightCall struct {
-	done chan struct{}
-	res  engine.Result
-	err  error
+	done     chan struct{}
+	res      engine.Result
+	err      error
+	degraded bool // backend answered in degraded mode (set before done closes)
 }
 
 // flightGroup indexes in-flight searches by full request key.

@@ -1,0 +1,42 @@
+package serve
+
+// Degraded-mode plumbing: the backend (the shard coordinator, when its
+// worker ring is empty and it fell back to local compute) marks the
+// search context, and the mark surfaces on the response so callers can
+// tell an exact-but-degraded answer from a healthy one. The flag rides
+// the context rather than the error path because degraded answers are
+// still exact — they are successes with an operational footnote.
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// DegradedFlag records whether the search it is attached to was served
+// in degraded mode. Safe for concurrent use.
+type DegradedFlag struct {
+	set atomic.Bool
+}
+
+// Get reports whether the flag was marked.
+func (f *DegradedFlag) Get() bool { return f.set.Load() }
+
+type degradedKey struct{}
+
+// WithDegraded attaches a fresh DegradedFlag to ctx. The server wraps
+// every leader search context with it; the returned flag is read after
+// the search settles.
+func WithDegraded(ctx context.Context) (context.Context, *DegradedFlag) {
+	f := &DegradedFlag{}
+	return context.WithValue(ctx, degradedKey{}, f), f
+}
+
+// MarkDegraded flips the context's DegradedFlag, if one is attached.
+// Backends call it when a search was answered without the full healthy
+// path (e.g. coordinator-local compute on an empty ring). No-op on a
+// context without a flag, so backends can call it unconditionally.
+func MarkDegraded(ctx context.Context) {
+	if f, ok := ctx.Value(degradedKey{}).(*DegradedFlag); ok {
+		f.set.Store(true)
+	}
+}

@@ -26,6 +26,7 @@ type serveStats struct {
 	cacheMisses      atomic.Int64
 	deadlineExceeded atomic.Int64 // 504: request deadline expired
 	completed        atomic.Int64 // 200s (cached, coalesced or searched)
+	degraded         atomic.Int64 // 200s answered in degraded mode (local fallback)
 	failed           atomic.Int64 // 500: search error
 	inflight         atomic.Int64 // requests between admission check and response
 
@@ -49,6 +50,7 @@ func (s *serveStats) writeProm(w io.Writer) error {
 		{"gametree_serve_cache_misses_total", "Requests that missed the result cache.", &s.cacheMisses},
 		{"gametree_serve_deadline_exceeded_total", "Requests that exceeded their deadline (504).", &s.deadlineExceeded},
 		{"gametree_serve_completed_total", "Requests answered 200.", &s.completed},
+		{"gametree_serve_degraded_total", "Requests answered 200 in degraded mode (shard ring empty, local fallback).", &s.degraded},
 		{"gametree_serve_failed_total", "Requests answered 500 (search error).", &s.failed},
 	}
 	for _, c := range counters {

@@ -166,6 +166,10 @@ type SearchResponse struct {
 	QueueMs   float64 `json:"queue_ms,omitempty"`
 	Cached    bool    `json:"cached,omitempty"`
 	Coalesced bool    `json:"coalesced,omitempty"`
+	// Degraded marks an answer produced without the full healthy path —
+	// the shard backend computed it locally because the worker ring was
+	// empty. The value is still exact.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -414,6 +418,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// coordinator reads it there); coalesced joiners see the leader's
 	// trace on the spans, which is where the work actually ran.
 	sctx = reqtrace.NewContext(sctx, trace)
+	// The degraded flag lets the backend mark an exact-but-degraded
+	// answer (coordinator-local compute on an empty worker ring); it is
+	// copied onto the flight before it settles so joiners see it too.
+	sctx, degradedFlag := WithDegraded(sctx)
 	go func() {
 		defer cancel()
 		var res engine.Result
@@ -439,10 +447,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			s.cache.put(key, res)
 		}
+		call.degraded = degradedFlag.Get() // before finish: done's close publishes it
 		s.flights.finish(key, call, res, err)
 	}()
 	select {
 	case <-call.done:
+		if call.degraded && rec != nil {
+			rec.outcome = "degraded"
+		}
 		s.respondSettled(w, resp, call, start, queueWait, false)
 	case <-time.After(budget + searchGrace):
 		// The search did not return even after its ctx expired: it is
@@ -486,7 +498,7 @@ type accessRecord struct {
 	game    string
 	pos     string
 	depth   int
-	outcome string // cache-hit | coalesced | search | "" (failed before admission)
+	outcome string // cache-hit | coalesced | search | degraded | "" (failed before admission)
 	queueNs int64
 }
 
@@ -567,6 +579,10 @@ func (s *Server) respondSettled(w http.ResponseWriter, resp SearchResponse, call
 	s.stats.completed.Add(1)
 	resp.fill(call.res, start, queueWait)
 	resp.Coalesced = coalesced
+	if call.degraded {
+		resp.Degraded = true
+		s.stats.degraded.Add(1)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

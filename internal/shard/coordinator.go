@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -24,6 +25,15 @@ type PeerSetter interface {
 	SetPeer(proc int, addr string)
 }
 
+// restartNotifier is the optional transport capability that reports a
+// fresh process answering on a known address (transport.TCP implements
+// it via its connection preamble). The coordinator uses it to expire a
+// restarted worker's stale liveness immediately instead of waiting out
+// DeadAfter.
+type restartNotifier interface {
+	SetRestartHandler(fn func(addr string, oldID, newID uint64))
+}
+
 // Config parameterizes a Coordinator. Net and Workers are required.
 type Config struct {
 	// Net carries the shard protocol; the coordinator calls Start and
@@ -38,8 +48,25 @@ type Config struct {
 	// shipping the frontier as tasks (default 1: the root's children).
 	ExpandDepth int
 	// TaskTimeout is how long a dispatched task may stay unanswered
-	// before it is reissued to the next live ring successor (default 2s).
+	// before its first reissue to the next live ring successor (default
+	// 2s). Subsequent reissues back off exponentially with jitter up to
+	// RetryBackoffMax.
 	TaskTimeout time.Duration
+	// RetryBudget bounds reissues per task: a task reissued more than
+	// this many times is quarantined — settled with a QuarantineError,
+	// or handed to the Fallback pool when one is configured — instead of
+	// being retried forever (default 6).
+	RetryBudget int
+	// RetryBackoffMax caps the per-task backoff between reissues
+	// (default 8x TaskTimeout).
+	RetryBackoffMax time.Duration
+	// Fallback, when non-nil, is a local resident pool the coordinator
+	// computes leaves on when the live ring is empty or a task exhausts
+	// its retry budget: answers stay exact, latency degrades, and the
+	// gametree_shard_degraded gauge flips instead of requests burning to
+	// their deadline. The caller owns the pool and closes it after the
+	// coordinator.
+	Fallback *engine.Pool
 	// DeadAfter marks a worker dead when its last ping is older than
 	// this (default 3s). Dead workers are routed around.
 	DeadAfter time.Duration
@@ -76,7 +103,27 @@ func (c Config) withDefaults() Config {
 	if c.RecoveryP99 <= 0 {
 		c.RecoveryP99 = 500 * time.Millisecond
 	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 6
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 8 * c.TaskTimeout
+	}
 	return c
+}
+
+// QuarantineError is the typed failure for a task that exhausted its
+// retry budget with no fallback pool to absorb it — e.g. a poison leaf
+// that kills every worker it touches, on a coordinator running without
+// local compute.
+type QuarantineError struct {
+	Task     uint64 // task id
+	Key      string // routing key ("game|pos")
+	Attempts int    // reissues spent before quarantine
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("shard: task %d (%s) quarantined after %d reissues", e.Task, e.Key, e.Attempts)
 }
 
 // pendingTask is one dispatched leaf awaiting its result.
@@ -89,6 +136,14 @@ type pendingTask struct {
 	firstWall int64     // first dispatch, wall clock, for the rpc span
 	done      chan struct{}
 	res       *Envelope
+	err       error
+
+	issueEpoch uint64    // membership epoch of the latest (re)issue; results below it are fenced
+	attempts   int       // reissues so far
+	nextDue    time.Time // earliest next reissue (jittered exponential backoff)
+	local      bool      // being computed on the fallback pool, not the ring
+	settled    bool      // done closed; late results and reissues must not touch it
+	degraded   bool      // answered by the fallback pool
 }
 
 // recoveryMinSamples is how many post-death RPC completions must land in
@@ -156,12 +211,26 @@ type Coordinator struct {
 
 	nextID atomic.Uint64
 
-	mu       sync.Mutex
-	pending  map[uint64]*pendingTask
-	lastPing map[int]time.Time
-	wasAlive map[int]bool            // previous liveness sweep, for death-edge detection
-	offsets  map[int]reqtrace.Offset // per-worker clock offsets from ping echoes
-	recovery recoveryTracker
+	mu        sync.Mutex
+	pending   map[uint64]*pendingTask
+	lastPing  map[int]time.Time
+	wasAlive  map[int]bool            // previous liveness sweep, for death-edge detection
+	offsets   map[int]reqtrace.Offset // per-worker clock offsets from ping echoes
+	recovery  recoveryTracker
+	epoch     uint64               // membership epoch: bumps on every death edge and rejoin; coordinator is the single writer
+	lastBoot  map[int]uint64       // last boot nonce seen per worker, for fast-restart detection
+	deadSince map[int]time.Time    // when each currently-dead worker's liveness lapsed
+	peerAddrs map[int]string       // mutable copy of cfg.PeerAddrs; rejoins rewrite entries
+	rng       *rand.Rand           // backoff jitter; guarded by mu
+	member    map[int]bool         // ring membership, for filtering foreign pings
+
+	rejoins       int64 // workers admitted back (epoch bumps from pings)
+	fenced        int64 // stale-epoch results discarded
+	quarantined   int64 // tasks that exhausted their retry budget
+	degradedTasks int64 // leaves computed on the fallback pool
+
+	localCtx    context.Context // bounds fallback-pool searches; cancelled by Close
+	localCancel context.CancelFunc
 
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -174,15 +243,28 @@ type Coordinator struct {
 func NewCoordinator(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		cfg:      cfg,
-		ring:     NewRing(cfg.Workers),
-		tm:       cfg.Telemetry.Shard(0),
-		pending:  make(map[uint64]*pendingTask),
-		lastPing: make(map[int]time.Time),
-		wasAlive: make(map[int]bool),
-		offsets:  make(map[int]reqtrace.Offset),
-		closed:   make(chan struct{}),
+		cfg:       cfg,
+		ring:      NewRing(cfg.Workers),
+		tm:        cfg.Telemetry.Shard(0),
+		pending:   make(map[uint64]*pendingTask),
+		lastPing:  make(map[int]time.Time),
+		wasAlive:  make(map[int]bool),
+		offsets:   make(map[int]reqtrace.Offset),
+		epoch:     1,
+		lastBoot:  make(map[int]uint64),
+		deadSince: make(map[int]time.Time),
+		peerAddrs: make(map[int]string, len(cfg.PeerAddrs)),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		member:    make(map[int]bool, len(cfg.Workers)),
+		closed:    make(chan struct{}),
 	}
+	for p, a := range cfg.PeerAddrs {
+		c.peerAddrs[p] = a
+	}
+	for _, w := range cfg.Workers {
+		c.member[w] = true
+	}
+	c.localCtx, c.localCancel = context.WithCancel(context.Background())
 	c.recovery.threshold = cfg.RecoveryP99.Nanoseconds()
 	return c
 }
@@ -198,11 +280,33 @@ func (c *Coordinator) Start() {
 		c.wasAlive[w] = true
 	}
 	c.mu.Unlock()
+	if rn, ok := c.cfg.Net.(restartNotifier); ok {
+		rn.SetRestartHandler(func(addr string, _, _ uint64) { c.peerRestarted(addr) })
+	}
 	c.cfg.Net.Start(c.deliver)
 	c.sendHellos()
 	c.wg.Add(2)
 	go c.helloLoop()
 	go c.reissueLoop()
+}
+
+// peerRestarted handles the transport's fresh-process signal: every
+// worker routed to that address has its liveness expired on the spot, so
+// the death edge (and the epoch bump that fences its ghost's results)
+// lands at the next sweep instead of DeadAfter later. The fresh
+// process's own pings — carrying a new boot nonce — complete the rejoin.
+func (c *Coordinator) peerRestarted(addr string) {
+	now := time.Now()
+	c.mu.Lock()
+	for _, w := range c.cfg.Workers {
+		if c.peerAddrs[w] != addr {
+			continue
+		}
+		if c.aliveLocked(w, now) {
+			c.lastPing[w] = now.Add(-c.cfg.DeadAfter)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Close stops the loops and closes the network. Idempotent. In-flight
@@ -216,6 +320,7 @@ func (c *Coordinator) Close() {
 	c.isClose = true
 	close(c.closed)
 	c.closeMu.Unlock()
+	c.localCancel()
 	c.wg.Wait()
 	c.cfg.Net.Close()
 }
@@ -233,10 +338,25 @@ func (c *Coordinator) deliver(pkt faultnet.Packet) {
 		now := time.Now()
 		c.mu.Lock()
 		p := c.pending[env.ID]
+		if p != nil && env.Epoch != 0 && env.Epoch < p.issueEpoch {
+			// Fence: this answer was computed under an issuance the ring
+			// has moved past — a pre-crash ghost, or a worker answering a
+			// superseded copy. Folding it could race the live reissue's
+			// answer, so it is discarded, never folded.
+			c.fenced++
+			fencedTrace, issued := p.env.Trace, p.issueEpoch
+			c.mu.Unlock()
+			if fencedTrace != "" {
+				c.cfg.Tracer.Record(reqtrace.Span{
+					Trace: fencedTrace, Stage: reqtrace.StageRPC,
+					StartNs: now.UnixNano(), Task: env.ID, Worker: pkt.From,
+					Note: fmt.Sprintf("fenced epoch=%d<%d", env.Epoch, issued),
+				})
+			}
+			return
+		}
 		if p != nil {
-			delete(c.pending, env.ID)
-			p.res = env
-			close(p.done)
+			c.settleLocked(p, env, nil)
 			c.recovery.observe(now.Sub(p.first).Nanoseconds(), now.UnixNano())
 		}
 		c.mu.Unlock()
@@ -253,13 +373,82 @@ func (c *Coordinator) deliver(pkt faultnet.Packet) {
 			}
 		}
 	case KindPing:
-		now := time.Now()
-		c.mu.Lock()
-		c.lastPing[pkt.From] = now
-		if env.EchoNs != 0 && env.SentNs != 0 {
-			c.observeOffsetLocked(pkt.From, env, now)
+		c.handlePing(pkt.From, env)
+	}
+}
+
+// settleLocked finalizes a task exactly once: records the result or
+// error, removes it from pending, and releases the waiter. Late results,
+// duplicate reissues and the local-fallback path all funnel through
+// here, so the done channel can never be closed twice. Callers hold
+// c.mu.
+func (c *Coordinator) settleLocked(p *pendingTask, res *Envelope, err error) bool {
+	if p.settled {
+		return false
+	}
+	p.settled = true
+	p.res, p.err = res, err
+	delete(c.pending, p.env.ID)
+	close(p.done)
+	return true
+}
+
+// handlePing refreshes liveness and admits rejoining workers. A ping
+// from a ring member that was not considered alive — or whose boot
+// nonce changed, catching a restart faster than DeadAfter — bumps the
+// membership epoch: tasks issued from here on carry the new epoch, and
+// anything the previous incarnation still answers is fenced. The
+// coordinator is the single writer of the epoch; workers only echo it.
+func (c *Coordinator) handlePing(from int, env *Envelope) {
+	if !c.member[from] {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	prevAlive := c.aliveLocked(from, now)
+	bootChanged := env.Boot != 0 && c.lastBoot[from] != 0 && env.Boot != c.lastBoot[from]
+	if env.Boot != 0 {
+		c.lastBoot[from] = env.Boot
+	}
+	var newAddr string
+	if env.Addr != "" && c.peerAddrs[from] != env.Addr {
+		c.peerAddrs[from] = env.Addr
+		newAddr = env.Addr
+	}
+	rejoined := !prevAlive || bootChanged
+	var outageNs int64
+	if rejoined {
+		c.epoch++
+		c.rejoins++
+		if t, ok := c.deadSince[from]; ok && !prevAlive {
+			outageNs = now.Sub(t).Nanoseconds()
 		}
-		c.mu.Unlock()
+		delete(c.deadSince, from)
+		c.wasAlive[from] = true
+	}
+	c.lastPing[from] = now
+	if env.EchoNs != 0 && env.SentNs != 0 {
+		c.observeOffsetLocked(from, env, now)
+	}
+	epoch := c.epoch
+	c.mu.Unlock()
+
+	if newAddr != "" {
+		// A worker restarted on a fresh port announced itself: re-route
+		// its stream and let the next hello spread the address ring-wide.
+		if ps, ok := c.cfg.Net.(PeerSetter); ok {
+			ps.SetPeer(from, newAddr)
+		}
+	}
+	if rejoined {
+		c.cfg.Tracer.Record(reqtrace.Span{
+			Trace: fmt.Sprintf("rejoin-%d", from), Stage: reqtrace.StageRejoin,
+			StartNs: now.UnixNano() - outageNs, DurNs: outageNs, Worker: from,
+			Note: fmt.Sprintf("epoch=%d", epoch),
+		})
+		// Re-announce the peer table promptly so the rejoined worker can
+		// rebuild its worker-to-worker TT streams without waiting a tick.
+		c.sendHellos()
 	}
 }
 
@@ -326,14 +515,18 @@ func (c *Coordinator) helloLoop() {
 }
 
 func (c *Coordinator) sendHellos() {
-	peers := make(map[string]string, len(c.cfg.PeerAddrs))
-	for p, a := range c.cfg.PeerAddrs {
+	c.mu.Lock()
+	peers := make(map[string]string, len(c.peerAddrs))
+	for p, a := range c.peerAddrs {
 		peers[strconv.Itoa(p)] = a
 	}
+	epoch := c.epoch
+	c.mu.Unlock()
 	for _, w := range c.cfg.Workers {
 		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: w, Payload: &Envelope{
 			Kind:   KindHello,
 			Peers:  peers,
+			Epoch:  epoch,
 			SentNs: time.Now().UnixNano(),
 		}})
 	}
@@ -354,25 +547,49 @@ func (c *Coordinator) reissueLoop() {
 	}
 }
 
-// sweepLiveness detects alive→dead edges for the recovery clock. Sharing
-// the reissue tick keeps death detection at TaskTimeout/4 granularity,
-// which is also the soonest a death can have any latency consequence.
+// sweepLiveness detects alive→dead edges for the recovery clock and the
+// membership epoch. Sharing the reissue tick keeps death detection at
+// TaskTimeout/4 granularity, which is also the soonest a death can have
+// any latency consequence.
 func (c *Coordinator) sweepLiveness(now time.Time) {
 	c.mu.Lock()
 	for _, w := range c.cfg.Workers {
 		a := c.aliveLocked(w, now)
 		if c.wasAlive[w] && !a {
 			c.recovery.noteDeath(now.UnixNano())
+			// Membership shrank: bump the epoch so everything issued from
+			// here on outranks whatever the dead worker still answers.
+			c.epoch++
+			c.deadSince[w] = now
 		}
 		c.wasAlive[w] = a
 	}
 	c.mu.Unlock()
 }
 
-// reissueStale re-sends every pending task older than TaskTimeout,
+// backoffLocked computes the wait before a task's next reissue: the
+// base TaskTimeout doubled per attempt, capped at RetryBackoffMax, with
+// ±25% jitter so a burst of simultaneously-stale tasks does not reissue
+// in lockstep forever. Callers hold c.mu.
+func (c *Coordinator) backoffLocked(attempts int) time.Duration {
+	d := c.cfg.TaskTimeout
+	for i := 0; i < attempts && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*c.rng.Float64()))
+}
+
+// reissueStale re-sends every pending task past its backoff deadline,
 // preferring a live processor other than the one that went quiet; with
 // nobody else alive it retries the same one (the transport may simply
-// have dropped the frame).
+// have dropped the frame). Each reissue is stamped with the current
+// membership epoch, superseding earlier copies. A task over its retry
+// budget is quarantined; quarantined tasks — and every stale task when
+// the whole ring is dead — fall back to the local pool when one is
+// configured.
 func (c *Coordinator) reissueStale() {
 	now := time.Now()
 	type resend struct {
@@ -380,9 +597,22 @@ func (c *Coordinator) reissueStale() {
 		to  int
 	}
 	var out []resend
+	var locals []*pendingTask
 	c.mu.Lock()
 	for _, p := range c.pending {
-		if now.Sub(p.sentAt) < c.cfg.TaskTimeout {
+		if p.local || now.Before(p.nextDue) {
+			continue
+		}
+		p.attempts++
+		if p.attempts > c.cfg.RetryBudget {
+			c.quarantined++
+			if c.cfg.Fallback != nil {
+				p.local = true
+				delete(c.pending, p.env.ID)
+				locals = append(locals, p)
+			} else {
+				c.settleLocked(p, nil, &QuarantineError{Task: p.env.ID, Key: p.key, Attempts: p.attempts - 1})
+			}
 			continue
 		}
 		prev := p.to
@@ -394,18 +624,32 @@ func (c *Coordinator) reissueStale() {
 				return c.aliveLocked(q, now)
 			})
 			if !ok {
+				if c.cfg.Fallback != nil {
+					// The whole ring is dead: stop burning the retry budget
+					// on a void and compute the leaf here.
+					p.local = true
+					delete(c.pending, p.env.ID)
+					locals = append(locals, p)
+					continue
+				}
 				to = prev // everyone looks dead: retry where it was
 			}
 		}
 		p.to = to
 		p.sentAt = now
+		p.nextDue = now.Add(c.backoffLocked(p.attempts))
+		p.issueEpoch = c.epoch
 		// Resend a copy: the original envelope may still be in the hands
 		// of an in-process delivery path.
 		env := *p.env
 		env.SentNs = now.UnixNano()
+		env.Epoch = c.epoch
 		out = append(out, resend{env: &env, to: to})
 	}
 	c.mu.Unlock()
+	for _, p := range locals {
+		c.runLocal(p)
+	}
 	for _, r := range out {
 		if c.tm != nil {
 			c.tm.ShardReissues.Add(1)
@@ -418,6 +662,44 @@ func (c *Coordinator) reissueStale() {
 		}
 		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: r.to, Payload: r.env})
 	}
+}
+
+// runLocal computes one leaf on the fallback pool and settles it as
+// degraded. The answer is exactly what a worker would have produced —
+// the same engine, full window — only the latency story changes.
+func (c *Coordinator) runLocal(p *pendingTask) {
+	c.mu.Lock()
+	c.degradedTasks++
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		wall := time.Now().UnixNano()
+		res := &Envelope{Kind: KindResult, ID: p.env.ID}
+		pos, _, err := serve.ParsePosition(p.env.Game, p.env.Pos)
+		if err == nil {
+			var r engine.Result
+			r, err = c.cfg.Fallback.Search(c.localCtx, pos, p.env.Depth)
+			if err == nil {
+				res.Value, res.Best, res.Nodes = r.Value, r.Best, r.Nodes
+			}
+		}
+		if p.env.Trace != "" {
+			c.cfg.Tracer.Record(reqtrace.Span{
+				Trace: p.env.Trace, Stage: reqtrace.StageLocal,
+				StartNs: wall, DurNs: time.Now().UnixNano() - wall,
+				Task: p.env.ID, Worker: c.cfg.Self,
+			})
+		}
+		c.mu.Lock()
+		p.degraded = true
+		if err != nil {
+			c.settleLocked(p, nil, err)
+		} else {
+			c.settleLocked(p, res, nil)
+		}
+		c.mu.Unlock()
+	}()
 }
 
 // expandNode is the coordinator's view of the tree above the task
@@ -472,6 +754,9 @@ func (c *Coordinator) newTask(game, pos string, depth int, trace string) *pendin
 // match engine.Search exactly.
 func fold(n *expandNode) (value int32, best int, nodes int64, err error) {
 	if n.task != nil {
+		if n.task.err != nil {
+			return 0, -1, 0, n.task.err
+		}
 		r := n.task.res
 		if r.Err != "" {
 			return 0, -1, 0, fmt.Errorf("shard: worker error: %s", r.Err)
@@ -519,25 +804,47 @@ func (c *Coordinator) Search(ctx context.Context, game, position string, depth i
 		})
 	}
 
-	// Dispatch every leaf to the live owner of its position key.
+	// Dispatch every leaf to the live owner of its position key; with
+	// nobody alive and a fallback pool configured, a leaf skips the ring
+	// entirely and computes here — degraded, not hung.
 	now := time.Now()
 	wallRoute := now.UnixNano()
+	var locals []*pendingTask
+	type sendItem struct {
+		to  int
+		env *Envelope
+	}
+	var sends []sendItem
 	c.mu.Lock()
 	for _, p := range leaves {
-		to, _ := c.ring.OwnerLiveString(p.key, func(q int) bool { return c.aliveLocked(q, now) })
-		p.to = to
-		p.sentAt = now
 		p.first = now
 		p.firstWall = wallRoute
+		p.issueEpoch = c.epoch
+		to, ok := c.ring.OwnerLiveString(p.key, func(q int) bool { return c.aliveLocked(q, now) })
+		if !ok && c.cfg.Fallback != nil {
+			p.local = true
+			locals = append(locals, p)
+			continue
+		}
+		p.to = to
+		p.sentAt = now
+		p.nextDue = now.Add(c.cfg.TaskTimeout)
 		p.env.SentNs = wallRoute
+		p.env.Epoch = c.epoch
 		c.pending[p.env.ID] = p
+		// Snapshot the route under the lock: the reissue loop may rewrite
+		// p.to / p.local the moment a task is visible in pending.
+		sends = append(sends, sendItem{to: to, env: p.env})
 	}
 	c.mu.Unlock()
-	for _, p := range leaves {
+	for _, p := range locals {
+		c.runLocal(p)
+	}
+	for _, s := range sends {
 		if c.tm != nil {
 			c.tm.ShardTasks.Add(1)
 		}
-		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: p.to, Payload: p.env})
+		c.cfg.Net.Send(faultnet.Packet{From: c.cfg.Self, To: s.to, Payload: s.env})
 	}
 	if trace != "" {
 		c.cfg.Tracer.Record(reqtrace.Span{
@@ -558,6 +865,21 @@ func (c *Coordinator) Search(ctx context.Context, game, position string, depth i
 			c.abandon(leaves)
 			return engine.Result{}, ErrClosed
 		}
+	}
+
+	// Any leaf answered by the fallback pool makes the whole response
+	// degraded-but-exact; surface that to the serving tier.
+	degraded := false
+	c.mu.Lock()
+	for _, p := range leaves {
+		if p.degraded {
+			degraded = true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if degraded {
+		serve.MarkDegraded(ctx)
 	}
 
 	wallFold := time.Now().UnixNano()
@@ -595,6 +917,57 @@ func (c *Coordinator) Pending() int {
 	return len(c.pending)
 }
 
+// Epoch returns the current membership epoch. It starts at 1 and bumps
+// on every membership transition: a worker's liveness lapsing, and a
+// worker being admitted back.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Rejoins counts workers admitted back into the ring.
+func (c *Coordinator) Rejoins() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejoins
+}
+
+// FencedResults counts stale-epoch results discarded instead of folded.
+func (c *Coordinator) FencedResults() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fenced
+}
+
+// Quarantined counts tasks that exhausted their retry budget.
+func (c *Coordinator) Quarantined() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
+// DegradedTasks counts leaves computed on the fallback pool.
+func (c *Coordinator) DegradedTasks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradedTasks
+}
+
+// DegradedMode reports whether the live ring is currently empty — the
+// state in which new leaves go straight to the fallback pool.
+func (c *Coordinator) DegradedMode() bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.cfg.Workers {
+		if c.aliveLocked(w, now) {
+			return false
+		}
+	}
+	return true
+}
+
 // PromSection publishes ring membership, per-worker liveness and the
 // crash-recovery clock for telemetry.Recorder.AddPromSection.
 func (c *Coordinator) PromSection() func(io.Writer) error {
@@ -603,9 +976,11 @@ func (c *Coordinator) PromSection() func(io.Writer) error {
 		procs := append([]int(nil), c.cfg.Workers...)
 		sort.Ints(procs)
 		alive := make(map[int]bool, len(procs))
+		anyAlive := false
 		c.mu.Lock()
 		for _, p := range procs {
 			alive[p] = c.aliveLocked(p, now)
+			anyAlive = anyAlive || alive[p]
 		}
 		deaths := c.recovery.deaths
 		var recovering int64
@@ -613,7 +988,16 @@ func (c *Coordinator) PromSection() func(io.Writer) error {
 			recovering = 1
 		}
 		lastNs := c.recovery.lastNs
+		epoch := c.epoch
+		rejoins := c.rejoins
+		fenced := c.fenced
+		quarantined := c.quarantined
+		degradedTasks := c.degradedTasks
 		c.mu.Unlock()
+		var degraded int64
+		if !anyAlive {
+			degraded = 1
+		}
 		if err := writeRingMembership(w, procs); err != nil {
 			return err
 		}
@@ -637,8 +1021,32 @@ func (c *Coordinator) PromSection() func(io.Writer) error {
 			"1 while a detected worker death has not yet passed the p99 recovery test.", recovering); err != nil {
 			return err
 		}
-		return telemetry.PromGauge(w, "gametree_shard_recovery_last_ns",
-			"Duration of the most recent crash recovery: death detection until windowed p99 task RPC latency fell back under threshold.", lastNs)
+		if err := telemetry.PromGauge(w, "gametree_shard_recovery_last_ns",
+			"Duration of the most recent crash recovery: death detection until windowed p99 task RPC latency fell back under threshold.", lastNs); err != nil {
+			return err
+		}
+		if err := telemetry.PromGauge(w, "gametree_shard_epoch",
+			"Current membership epoch; bumps on every worker death edge and rejoin. Results stamped below a task's issue epoch are fenced.", int64(epoch)); err != nil {
+			return err
+		}
+		if err := telemetry.PromCounter(w, "gametree_shard_worker_rejoins_total",
+			"Workers admitted back into the ring (restart or liveness recovery).", rejoins); err != nil {
+			return err
+		}
+		if err := telemetry.PromCounter(w, "gametree_shard_fenced_results_total",
+			"Stale-epoch results discarded by the fence instead of folded.", fenced); err != nil {
+			return err
+		}
+		if err := telemetry.PromCounter(w, "gametree_shard_quarantined_total",
+			"Tasks that exhausted their retry budget.", quarantined); err != nil {
+			return err
+		}
+		if err := telemetry.PromCounter(w, "gametree_shard_degraded_tasks_total",
+			"Leaves computed on the coordinator's local fallback pool.", degradedTasks); err != nil {
+			return err
+		}
+		return telemetry.PromGauge(w, "gametree_shard_degraded",
+			"1 while the live ring is empty and leaves fall back to local compute.", degraded)
 	}
 }
 

@@ -29,7 +29,8 @@ type cluster struct {
 
 // newCluster wires a coordinator (proc 0) and n workers (procs 1..n)
 // over per-process TCP transports, with timeouts tightened for tests.
-func newCluster(t *testing.T, n int) *cluster {
+// Optional mutators adjust the coordinator config before construction.
+func newCluster(t *testing.T, n int, opts ...func(*Config)) *cluster {
 	t.Helper()
 	cl := &cluster{}
 	procs := make([]int, n)
@@ -70,22 +71,23 @@ func newCluster(t *testing.T, n int) *cluster {
 		tracer := reqtrace.New(i, "worker", 0, 0)
 		cl.workTracers = append(cl.workTracers, tracer)
 		w := NewWorker(WorkerConfig{
-			Net:          nets[i],
-			Self:         i,
-			Coordinator:  0,
-			Workers:      procs,
-			PoolWorkers:  2,
-			TableEntries: 1 << 12,
-			PingEvery:    25 * time.Millisecond,
-			Telemetry:    rec,
-			Tracer:       tracer,
+			Net:           nets[i],
+			Self:          i,
+			Coordinator:   0,
+			Workers:       procs,
+			PoolWorkers:   2,
+			TableEntries:  1 << 12,
+			PingEvery:     25 * time.Millisecond,
+			AdvertiseAddr: nets[i].Addr(),
+			Telemetry:     rec,
+			Tracer:        tracer,
 		})
 		w.Start()
 		cl.workers = append(cl.workers, w)
 	}
 	cl.coordRec = telemetry.NewRecorder()
 	cl.coordTracer = reqtrace.New(0, "coordinator", 0, 0)
-	cl.coord = NewCoordinator(Config{
+	cfg := Config{
 		Net:         nets[0],
 		Self:        0,
 		Workers:     procs,
@@ -96,7 +98,11 @@ func newCluster(t *testing.T, n int) *cluster {
 		PeerAddrs:   addrs,
 		Telemetry:   cl.coordRec,
 		Tracer:      cl.coordTracer,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cl.coord = NewCoordinator(cfg)
 	cl.coordTracer.SetOffsets(cl.coord.ClockOffsets)
 	cl.coord.Start()
 	t.Cleanup(func() {

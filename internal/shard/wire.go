@@ -74,6 +74,25 @@ type Envelope struct {
 	// originating request is unsampled. Reissued copies keep the original
 	// ID so a task's whole retry history lands in one trace.
 	Trace string `json:"trace,omitempty"`
+
+	// Epoch is the coordinator's membership epoch (hello/task/result).
+	// Tasks carry the epoch they were issued under; workers echo the
+	// epoch of the latest issuance they saw for that task ID; a result
+	// stamped below the task's current issue epoch is fenced off —
+	// discarded, never folded. Zero means "no epoch" (pre-epoch traffic)
+	// and is never fenced.
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// Boot is the sender's random per-process boot nonce (ping). A ping
+	// whose Boot differs from the last one seen for that processor is a
+	// restarted process, even when it reappears inside the DeadAfter
+	// window.
+	Boot uint64 `json:"boot,omitempty"`
+
+	// Addr is the sender's advertised transport address (ping), so a
+	// worker restarted on a fresh port can be re-routed to without a
+	// portfile round trip.
+	Addr string `json:"addr,omitempty"`
 }
 
 // Codec marshals *Envelope payloads for the transport. Implements

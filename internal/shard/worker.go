@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -48,6 +50,10 @@ type WorkerConfig struct {
 	QueueLen int
 	// PingEvery paces liveness pings to the coordinator (default 500ms).
 	PingEvery time.Duration
+	// AdvertiseAddr is this worker's transport address, carried in pings
+	// so a coordinator can re-route to a worker restarted on a fresh port
+	// without a portfile round trip. Optional.
+	AdvertiseAddr string
 	// Telemetry records pool counters on shards 0..PoolWorkers-1 and the
 	// worker's remote-TT counters on shard PoolWorkers. Optional.
 	Telemetry *telemetry.Recorder
@@ -94,13 +100,27 @@ type Worker struct {
 
 	tasks chan queuedTask
 
+	// boot is this process's random boot nonce, stamped on every ping so
+	// the coordinator can tell a restarted process from a surviving one
+	// even when the restart lands inside the liveness window.
+	boot uint64
+	// epoch tracks the highest coordinator membership epoch seen in a
+	// hello — the worker never authors epochs, only echoes them.
+	epoch atomic.Uint64
+
 	// curTrace is the trace ID of the task the (single) runLoop is
 	// executing, read by remote-TT probes issued from inside the search.
 	// Always holds a string; empty when idle or the task is unsampled.
 	curTrace atomic.Value
 
-	mu          sync.Mutex
-	inflight    map[uint64]bool
+	mu sync.Mutex
+	// inflight maps a queued-or-running task ID to the epoch of the
+	// latest issuance seen for it. A reissued duplicate updates the epoch
+	// even though the task is not re-run, so the eventual result is
+	// stamped with an epoch the coordinator will accept — stamping the
+	// original issue epoch instead would fence every result whose task
+	// was reissued across a membership change, livelocking the retry.
+	inflight    map[uint64]uint64
 	doneCache   map[uint64]*Envelope
 	doneOrder   []uint64
 	outstanding map[uint64]probeSent // remote probes in flight, by hash
@@ -130,6 +150,19 @@ type probeSent struct {
 	trace  string
 }
 
+// randBoot draws a random nonzero boot nonce. Zero is reserved for "no
+// nonce" on the wire, so the rare zero draw (and the no-entropy fallback)
+// maps to a time-derived value instead.
+func randBoot() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if n := binary.BigEndian.Uint64(b[:]); n != 0 {
+			return n
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
 // NewWorker builds a worker over an un-started network. Call Start.
 func NewWorker(cfg WorkerConfig) *Worker {
 	cfg = cfg.withDefaults()
@@ -152,7 +185,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		pool:        pool,
 		tm:          cfg.Telemetry.Shard(pool.Workers()),
 		tasks:       make(chan queuedTask, cfg.QueueLen),
-		inflight:    make(map[uint64]bool),
+		boot:        randBoot(),
+		inflight:    make(map[uint64]uint64),
 		doneCache:   make(map[uint64]*Envelope),
 		outstanding: make(map[uint64]probeSent),
 		ctx:         ctx,
@@ -252,6 +286,13 @@ func (w *Worker) deliver(pkt faultnet.Packet) {
 func (w *Worker) acceptTask(env *Envelope) {
 	w.mu.Lock()
 	if res := w.doneCache[env.ID]; res != nil {
+		// Replay under the incoming issuance's epoch, on a copy — the
+		// cached envelope is shared with other replays, and restamping it
+		// in place would race. Replaying the original epoch would be
+		// fenced forever once the coordinator reissued across a
+		// membership change.
+		cp := *res
+		cp.Epoch = env.Epoch
 		w.mu.Unlock()
 		if env.Trace != "" {
 			// Stamp the dedup: a reissued duplicate answered from the
@@ -261,14 +302,17 @@ func (w *Worker) acceptTask(env *Envelope) {
 				StartNs: time.Now().UnixNano(), Task: env.ID, Note: "replayed",
 			})
 		}
-		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: res})
+		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: &cp})
 		return
 	}
-	if w.inflight[env.ID] {
+	if _, running := w.inflight[env.ID]; running {
+		// Already queued or computing: adopt the newer issuance's epoch so
+		// the eventual result passes the coordinator's fence.
+		w.inflight[env.ID] = env.Epoch
 		w.mu.Unlock()
 		return
 	}
-	w.inflight[env.ID] = true
+	w.inflight[env.ID] = env.Epoch
 	w.mu.Unlock()
 	qt := queuedTask{env: env}
 	if env.Trace != "" {
@@ -284,6 +328,16 @@ func (w *Worker) acceptTask(env *Envelope) {
 }
 
 func (w *Worker) applyHello(env *Envelope) {
+	// Adopt the hello's membership epoch, monotonically — hellos can be
+	// reordered in flight, and the epoch only ever grows at its author.
+	if env.Epoch != 0 {
+		for {
+			cur := w.epoch.Load()
+			if env.Epoch <= cur || w.epoch.CompareAndSwap(cur, env.Epoch) {
+				break
+			}
+		}
+	}
 	// Pong the hello: echoing its SentNs alongside our own send stamp
 	// gives the coordinator an NTP-style RTT and clock-offset sample on
 	// every hello round. The pong is an ordinary ping, so it also
@@ -291,6 +345,7 @@ func (w *Worker) applyHello(env *Envelope) {
 	if env.SentNs != 0 {
 		w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: &Envelope{
 			Kind: KindPing, SentNs: time.Now().UnixNano(), EchoNs: env.SentNs,
+			Boot: w.boot, Addr: w.cfg.AdvertiseAddr,
 		}})
 	}
 	ps, ok := w.cfg.Net.(PeerSetter)
@@ -357,6 +412,10 @@ func (w *Worker) runTask(qt queuedTask) {
 		w.tm.ShardTasks.Add(1)
 	}
 	w.mu.Lock()
+	// Stamp the result with the latest issuance epoch seen for this task
+	// (acceptTask keeps it fresh across reissues), not the epoch the task
+	// was first queued under.
+	res.Epoch = w.inflight[env.ID]
 	delete(w.inflight, env.ID)
 	w.doneCache[env.ID] = res
 	w.doneOrder = append(w.doneOrder, env.ID)
@@ -377,6 +436,13 @@ func (w *Worker) pingLoop() {
 		case <-w.ctx.Done():
 			return
 		case <-t.C:
+			// A stalled processor must fall silent, not just lose frames:
+			// the chaos stall models a GC-frozen or wedged process, and a
+			// liveness ping escaping the freeze would defeat the
+			// coordinator's false-death detection the fault exists to test.
+			if _, stalled := w.cfg.Net.StalledUntil(w.cfg.Self); stalled {
+				continue
+			}
 			w.sendPing()
 		}
 	}
@@ -385,8 +451,13 @@ func (w *Worker) pingLoop() {
 func (w *Worker) sendPing() {
 	w.cfg.Net.Send(faultnet.Packet{From: w.cfg.Self, To: w.cfg.Coordinator, Payload: &Envelope{
 		Kind: KindPing, SentNs: time.Now().UnixNano(),
+		Boot: w.boot, Addr: w.cfg.AdvertiseAddr,
 	}})
 }
+
+// Epoch reports the highest coordinator membership epoch this worker has
+// seen (0 until the first epoch-stamped hello arrives).
+func (w *Worker) Epoch() uint64 { return w.epoch.Load() }
 
 // PromSection publishes this worker's view of the ring (membership plus
 // its own id) for telemetry.Recorder.AddPromSection, so every role's
@@ -396,6 +467,10 @@ func (w *Worker) PromSection() func(io.Writer) error {
 		procs := append([]int(nil), w.cfg.Workers...)
 		sort.Ints(procs)
 		if err := writeRingMembership(out, procs); err != nil {
+			return err
+		}
+		if err := telemetry.PromGauge(out, "gametree_shard_epoch",
+			"Latest coordinator membership epoch seen by this process.", int64(w.epoch.Load())); err != nil {
 			return err
 		}
 		return telemetry.PromGauge(out, "gametree_shard_self_proc",

@@ -32,6 +32,12 @@ const MaxFrame = 1 << 20
 
 const headerLen = 8 // From + To, after the length prefix
 
+// instanceProc is the pseudo-processor id on preamble frames: the first
+// frame an acceptor writes back down every inbound connection, carrying
+// its 8-byte instance identity. Dialers consume it before entering the
+// send loop; it never reaches the delivery callback.
+const instanceProc = -2
+
 var (
 	errFrameTooBig   = errors.New("transport: frame exceeds MaxFrame")
 	errFrameTooShort = errors.New("transport: frame shorter than its header")

@@ -30,6 +30,8 @@
 package transport
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -163,6 +165,14 @@ type TCP struct {
 
 	self *peer // loopback stream to our own listener, lazily created
 
+	// instance is this transport's random boot identity, announced in a
+	// preamble frame on every inbound connection; instances remembers the
+	// last identity seen behind each dialed address (guarded by mu), and
+	// restart fires when an address answers with a fresh one.
+	instance  uint64
+	instances map[string]uint64
+	restart   atomic.Value // func(addr string, oldID, newID uint64)
+
 	wg sync.WaitGroup
 
 	stats struct {
@@ -179,11 +189,13 @@ func New(cfg Config) (*TCP, error) {
 		return nil, fmt.Errorf("transport: Config.Codec is required")
 	}
 	t := &TCP{
-		cfg:   cfg,
-		local: make(map[int]bool, len(cfg.Local)),
-		peers: make(map[string]*peer),
-		route: make(map[int]string, len(cfg.Peers)),
-		conns: make(map[net.Conn]bool),
+		cfg:       cfg,
+		local:     make(map[int]bool, len(cfg.Local)),
+		peers:     make(map[string]*peer),
+		route:     make(map[int]string, len(cfg.Peers)),
+		conns:     make(map[net.Conn]bool),
+		instance:  randInstance(),
+		instances: make(map[string]uint64),
 	}
 	for _, p := range cfg.Local {
 		t.local[p] = true
@@ -209,6 +221,51 @@ func (t *TCP) Addr() string {
 		return ""
 	}
 	return t.ln.Addr().String()
+}
+
+// Instance returns this transport's random boot identity. A fresh
+// process at the same address has a fresh instance, which is what the
+// restart handler keys on.
+func (t *TCP) Instance() uint64 { return t.instance }
+
+// SetRestartHandler installs a callback fired (on its own goroutine)
+// when a dialed address answers with a different instance identity than
+// it did before — i.e. the process behind that address restarted. The
+// first connection to an address never fires it; nor does a plain
+// reconnect to a surviving process. The handler must be safe to call
+// concurrently. Only fixed-address restarts are observable this way: a
+// process that restarts on a new ephemeral port is a new address, and
+// detecting it is the caller's job (the shard tier uses boot nonces in
+// its ping protocol for that).
+func (t *TCP) SetRestartHandler(fn func(addr string, oldID, newID uint64)) {
+	t.restart.Store(fn)
+}
+
+// randInstance draws a nonzero random identity; zero means "unknown".
+func randInstance() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.BigEndian.Uint64(b[:]) | 1
+}
+
+// notePeerInstance records the identity an address announced and fires
+// the restart handler when it changed.
+func (t *TCP) notePeerInstance(addr string, inst uint64) {
+	if inst == 0 {
+		return
+	}
+	t.mu.Lock()
+	old, seen := t.instances[addr]
+	t.instances[addr] = inst
+	t.mu.Unlock()
+	if !seen || old == inst {
+		return
+	}
+	if fn, _ := t.restart.Load().(func(string, uint64, uint64)); fn != nil {
+		go fn(addr, old, inst)
+	}
 }
 
 // SetPeer binds (or rebinds) a processor id to a transport address.
@@ -321,6 +378,7 @@ func (t *TCP) writeLoop(p *peer) {
 				conn = c
 				p.setConn(c)
 				backoff = t.cfg.DialBackoff
+				t.readPreamble(c, p.addr)
 				break
 			}
 			// Unreachable: drop this frame, sleep out the backoff while
@@ -377,6 +435,36 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// writePreamble announces this transport's instance identity down an
+// inbound connection, so the dialer on the other end can tell a fresh
+// process from a reconnect to the old one.
+func (t *TCP) writePreamble(conn net.Conn) error {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], t.instance)
+	frame := appendFrame(make([]byte, 0, 4+headerLen+8), instanceProc, instanceProc, body[:])
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_, err := conn.Write(frame)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// readPreamble consumes the acceptor's identity announcement after a
+// dial. Tolerant by design: a slow or foreign endpoint just leaves the
+// identity unknown — the stream is unidirectional after the preamble,
+// so nothing else can arrive here and be lost.
+func (t *TCP) readPreamble(conn net.Conn, addr string) {
+	conn.SetReadDeadline(time.Now().Add(t.cfg.DialBackoffMax))
+	body, err := readFrame(conn, nil)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || len(body) < headerLen+8 {
+		return
+	}
+	if from := int(int32(binary.BigEndian.Uint32(body))); from != instanceProc {
+		return
+	}
+	t.notePeerInstance(addr, binary.BigEndian.Uint64(body[headerLen:]))
+}
+
 // readLoop decodes frames off one inbound stream and delivers the ones
 // addressed to local processors.
 func (t *TCP) readLoop(conn net.Conn) {
@@ -387,6 +475,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.conns, conn)
 		t.mu.Unlock()
 	}()
+	if t.writePreamble(conn) != nil {
+		return
+	}
 	var buf []byte
 	for {
 		body, err := readFrame(conn, buf)

@@ -156,6 +156,79 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	}
 }
 
+// TestRestartSignal: a dialed address that answers with a fresh
+// instance identity — a new process on the old port — must fire the
+// restart handler exactly once, with the old and new identities; the
+// first connection to an address must not.
+func TestRestartSignal(t *testing.T) {
+	type restart struct {
+		addr     string
+		old, new uint64
+	}
+	restarts := make(chan restart, 4)
+
+	a := newTCP(t, Config{Local: []int{0}, DialBackoff: 5 * time.Millisecond, DialBackoffMax: 200 * time.Millisecond})
+	a.SetRestartHandler(func(addr string, oldID, newID uint64) {
+		restarts <- restart{addr: addr, old: oldID, new: newID}
+	})
+	a.Start(func(faultnet.Packet) {})
+
+	b1 := newTCP(t, Config{Local: []int{1}})
+	addr := b1.Addr()
+	a.SetPeer(1, addr)
+	var c1 collector
+	b1.Start(c1.deliver)
+
+	a.Send(faultnet.Packet{From: 0, To: 1, Payload: []byte("hello")})
+	c1.waitFor(t, 5*time.Second, func(p []faultnet.Packet) bool { return len(p) == 1 })
+	select {
+	case r := <-restarts:
+		t.Fatalf("restart fired on first connection: %+v", r)
+	default:
+	}
+
+	// Kill b1 and rebind a fresh transport on the very same port — the
+	// fixed-address restart the shard portfile deployment produces.
+	b1.Close()
+	var b2 *TCP
+	var err error
+	for i := 0; i < 50; i++ {
+		b2, err = New(Config{Listen: addr, Local: []int{1}, Codec: Bytes{}})
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // port briefly held by the old listener
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(b2.Close)
+	var c2 collector
+	b2.Start(c2.deliver)
+
+	// Keep sending until the redial lands on the new process.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c2.snapshot()) == 0 {
+		a.Send(faultnet.Packet{From: 0, To: 1, Payload: []byte("again")})
+		if time.Now().After(deadline) {
+			t.Fatal("delivery never resumed on the rebound address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case r := <-restarts:
+		if r.addr != addr {
+			t.Errorf("restart for %q, want %q", r.addr, addr)
+		}
+		if r.old != b1.Instance() || r.new != b2.Instance() {
+			t.Errorf("restart identities (%x -> %x), want (%x -> %x)", r.old, r.new, b1.Instance(), b2.Instance())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("restart handler never fired for the fresh process")
+	}
+}
+
 // TestUnroutableDrops pins the lossy contract: no route, no listener,
 // no panic — just counted drops.
 func TestUnroutableDrops(t *testing.T) {

@@ -20,6 +20,14 @@
 #     coordinator reissues orphaned tasks to the survivor), a fresh
 #     exact-value burst against the degraded ring must pass, and the
 #     coordinator's death/recovery gauges must have registered the kill;
+#   - rejoin: the dead worker is restarted (new ephemeral port, peer
+#     table pointing only at the coordinator); the coordinator must admit
+#     it under a new epoch (worker_rejoins_total), and a fresh burst must
+#     route tasks to the rejoined process, not just the survivor;
+#   - empty ring: both workers killed; the degraded gauge must flip, a
+#     burst must still return exact values from the coordinator's local
+#     fallback pool (gtload -chaos counts the degraded 200s), and the
+#     gauge must close once a worker returns;
 #   - scaling (only when the host has >1 CPU): the same CPU-bound
 #     workload through a 2-worker ring must reach >= 1.3x the qps of a
 #     1-worker ring. Single-CPU hosts skip the ratio, not the gate.
@@ -55,12 +63,14 @@ wait_file() { # wait_file <path> [tries]
 # qps <gtload transcript> — extract the completed-request rate.
 qps() { awk -F'qps=' '/qps=/ {split($2, a, " "); print a[1]}' "$1"; }
 
-start_worker() { # start_worker <proc> <procs> <workers-per-pool>
+start_worker() { # start_worker <proc> <procs> <workers-per-pool> [extra gtserve flags...]
     local proc=$1 procs=$2 wrk=$3
+    shift 3
+    rm -f "$BIN/w$proc.shard" "$BIN/w$proc.http"
     "$BIN/gtserve" -role worker -shard-proc "$proc" -shard-procs "$procs" \
         -shard-listen 127.0.0.1:0 -shard-portfile "$BIN/w$proc.shard" \
         -addr 127.0.0.1:0 -portfile "$BIN/w$proc.http" \
-        -workers "$wrk" -table 65536 2>>"$ART/worker$proc.log" &
+        -workers "$wrk" -table 65536 "$@" 2>>"$ART/worker$proc.log" &
     PIDS+=($!)
     eval "W${proc}PID=$!"
     wait_file "$BIN/w$proc.shard"
@@ -73,8 +83,9 @@ start_coordinator() { # start_coordinator <peers> <procs>
     # workload would be answered from the coordinator's memory and the
     # crash gauntlet would prove nothing.
     "$BIN/gtserve" -role coordinator -shard-peers "$1" -shard-procs "$2" \
-        -shard-listen 127.0.0.1:0 -addr 127.0.0.1:0 -portfile "$BIN/c.http" \
-        -pools 4 -cache -1 -task-timeout 500ms \
+        -shard-listen 127.0.0.1:0 -shard-portfile "$BIN/c.shard" \
+        -addr 127.0.0.1:0 -portfile "$BIN/c.http" \
+        -pools 4 -cache -1 -task-timeout 500ms -dead-after 1s -local-fallback \
         -access-log "$ART/access.jsonl" 2>>"$ART/coordinator.log" &
     PIDS+=($!)
     CPID=$!
@@ -194,6 +205,66 @@ done
 recovery_ns=$(awk '/^gametree_shard_recovery_last_ns /{print $2}' "$ART/coordinator-metrics-postcrash.prom")
 echo "shard_smoke: deaths=$deaths recovering=${recovering:-?} recovery_last_ns=${recovery_ns:-?}" \
     | tee "$ART/recovery.txt"
+
+# metric <name> <scrape-file> — one coordinator metric value (empty if absent).
+metric() { awk -v m="$1" '$1 == m {print $2}' "$2"; }
+
+echo "== rejoin: restart worker 2, the ring must heal under a new epoch =="
+# The restarted process binds a NEW ephemeral port and knows only the
+# coordinator's address: the coordinator must learn the new route from
+# the rejoin ping, admit the worker under a bumped epoch, and resume
+# routing its shard there.
+start_worker 2 1,2 2 -shard-peers "0=$(tr -d '\n' <"$BIN/c.shard")"
+W2HTTP="http://$(tr -d '\n' <"$BIN/w2.http")"
+rejoins=0
+for _ in $(seq 1 100); do
+    curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-rejoin.prom"
+    rejoins=$(metric gametree_shard_worker_rejoins_total "$ART/coordinator-metrics-rejoin.prom")
+    [ "${rejoins:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${rejoins:-0}" -ge 1 ] || { echo "shard_smoke: restarted worker never rejoined"; exit 1; }
+# Post-rejoin routing: a fresh burst must land tasks on the restarted
+# worker (its counters start at zero), not just the survivor.
+"$BIN/gtload" -url "$URL" -game random -depth 6 -dup 0 -clients 4 \
+    -duration 2s -shards 2 | tee "$ART/gtload-rejoin.txt"
+curl -fsS "$W2HTTP/metrics" >"$ART/worker2-rejoin-metrics.prom"
+w2tasks=$(metric gametree_shard_tasks_total "$ART/worker2-rejoin-metrics.prom")
+[ "${w2tasks:-0}" -gt 0 ] || { echo "shard_smoke: no tasks routed to the rejoined worker"; exit 1; }
+epoch=$(metric gametree_shard_epoch "$ART/coordinator-metrics-rejoin.prom")
+echo "shard_smoke: rejoins=$rejoins epoch=${epoch:-?}, rejoined worker served $w2tasks tasks"
+
+echo "== empty ring: local fallback keeps answers exact, degraded gauge flips =="
+kill -9 "$W1PID" "$W2PID" 2>/dev/null || true
+# The failure detector (-dead-after 1s) must empty the live ring and
+# flip the degraded gauge without any traffic prompting it.
+degraded=0
+for _ in $(seq 1 100); do
+    curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-empty.prom"
+    degraded=$(metric gametree_shard_degraded "$ART/coordinator-metrics-empty.prom")
+    [ "${degraded:-0}" -eq 1 ] && break
+    sleep 0.1
+done
+[ "${degraded:-0}" -eq 1 ] || { echo "shard_smoke: degraded gauge never flipped with an empty ring"; exit 1; }
+"$BIN/gtload" -url "$URL" -game ttt -depth 9 -clients 2 -duration 2s \
+    -deadline 8s -expect 0 -shards 2 -chaos | tee "$ART/gtload-emptyring.txt"
+grep -Eq 'degraded=[1-9]' "$ART/gtload-emptyring.txt" \
+    || { echo "shard_smoke: empty-ring burst reported no degraded responses"; exit 1; }
+degraded_tasks=$(metric gametree_shard_degraded_tasks_total <(curl -fsS "$URL/metrics"))
+[ "${degraded_tasks:-0}" -gt 0 ] || { echo "shard_smoke: no leaves computed on the local fallback pool"; exit 1; }
+
+echo "== recovery: a returning worker closes the degraded gauge =="
+start_worker 1 1,2 2 -shard-peers "0=$(tr -d '\n' <"$BIN/c.shard")"
+degraded=1
+for _ in $(seq 1 100); do
+    curl -fsS "$URL/metrics" >"$ART/coordinator-metrics-recovered.prom"
+    degraded=$(metric gametree_shard_degraded "$ART/coordinator-metrics-recovered.prom")
+    [ "${degraded:-1}" -eq 0 ] && break
+    sleep 0.1
+done
+[ "${degraded:-1}" -eq 0 ] || { echo "shard_smoke: degraded gauge never closed after a worker returned"; exit 1; }
+epoch=$(metric gametree_shard_epoch "$ART/coordinator-metrics-recovered.prom")
+echo "shard_smoke: ring recovered, degraded=0 epoch=${epoch:-?}"
 
 echo "== scaling ratio: 2-worker ring vs 1-worker ring (CPU-gated) =="
 for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
