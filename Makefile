@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos fuzz bench bench-engine bench-smoke serve-smoke shard-smoke load stat vet lint
+.PHONY: all build test race chaos fuzz bench bench-engine bench-smoke serve-smoke solve-smoke shard-smoke load stat vet lint
 
 all: build test
 
@@ -72,6 +72,14 @@ bench-smoke:
 # drain. Artifacts (logs, metrics scrape) in serve-smoke-artifacts/.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Proof-number solver smoke (CI gate): boot a race-built gtserve, assert
+# exact Sprague-Grundy verdicts through /v1/solve, a concurrent solve
+# burst, a mid-solve client cancel (pns counters must go flat — workers
+# released — and the partial tree parked), then run the gtprove bench
+# suite into the artifact dir. Artifacts in solve-smoke-artifacts/.
+solve-smoke:
+	./scripts/solve_smoke.sh
 
 # Distributed serving smoke (CI gate): a race-built three-process ring
 # (coordinator + two shard workers over TCP), exact values under

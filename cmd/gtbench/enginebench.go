@@ -26,6 +26,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -140,6 +141,31 @@ func benchWorkload(workload string, plain, pos engine.Position, depth, reps int)
 		}
 		spine.YBWC = "off"
 		items = append(items, spine)
+	}
+
+	// Watermark probe (ROADMAP "splitting knobs" open item), tree
+	// workload only — the split-dense regime is where an eagerly-opened
+	// split could pay. pooled_wmK holds the demand-driven split gate K
+	// tasks above drained, so a thief arriving between splits finds work
+	// queued instead of stalling; the "pooled" rows above are the
+	// watermark-0 baseline. The default only flips on a ≥5% geomean
+	// nodes/sec win across the sweep (reported by runEngineBench).
+	if workload == "tree" {
+		for _, wm := range []int{1, 2} {
+			wm := wm
+			for _, w := range workers {
+				w := w
+				item, err := measure(workload, fmt.Sprintf("pooled_wm%d", wm), w, reps, func() (engine.Result, error) {
+					return engine.SearchParallelOpt(ctx, pos, depth,
+						engine.SearchOptions{Workers: w, Watermark: wm})
+				})
+				if err != nil {
+					return nil, err
+				}
+				item.YBWC = "on"
+				items = append(items, item)
+			}
+		}
 	}
 
 	for i := range items {
@@ -262,6 +288,7 @@ func runEngineBench(path string, depth, reps int, tracePath string, rec *telemet
 	if err != nil {
 		return err
 	}
+	reportWatermarkSweep(items)
 
 	c4 := games.StandardConnect4()
 	c4Items, err := benchWorkload("connect4", c4, c4, depth, reps)
@@ -317,6 +344,38 @@ func runEngineBench(path string, depth, reps int, tracePath string, rec *telemet
 		Telemetry:  entries,
 	})
 	return benchfmt.Write(path, doc)
+}
+
+// reportWatermarkSweep prints the pooled_wmK-vs-pooled nodes/sec
+// geomean over the tree worker sweep — the decision number for the
+// watermark-default question: the default flips to K only on a ≥5%
+// geomean win (it has not; see EXPERIMENTS §E12).
+func reportWatermarkSweep(items []benchfmt.Item) {
+	base := map[int]float64{}
+	for _, it := range items {
+		if it.Workload == "tree" && it.Name == "pooled" {
+			base[it.Workers] = it.NodesPerSec
+		}
+	}
+	for _, wm := range []int{1, 2} {
+		logSum, n := 0.0, 0
+		for _, it := range items {
+			if it.Workload == "tree" && it.Name == fmt.Sprintf("pooled_wm%d", wm) && base[it.Workers] > 0 {
+				logSum += math.Log(it.NodesPerSec / base[it.Workers])
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		ratio := math.Exp(logSum / float64(n))
+		verdict := "default stays 0 (<5%)"
+		if ratio >= 1.05 {
+			verdict = "≥5% — candidate to flip the default"
+		}
+		fmt.Printf("gtbench: tree watermark sweep wm%d/wm0 geomean %.3fx over %d widths — %s\n",
+			wm, ratio, n, verdict)
+	}
 }
 
 // checkEngineBench validates a BENCH_engine.json document — the CI

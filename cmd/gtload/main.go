@@ -40,12 +40,14 @@ import (
 	"gametree/internal/benchfmt"
 	"gametree/internal/engine"
 	"gametree/internal/metrics"
+	"gametree/internal/pns"
 	"gametree/internal/serve"
 )
 
 type config struct {
 	url      string
 	baseline bool
+	solve    bool
 	game     string
 	depth    int
 	branch   int
@@ -94,6 +96,9 @@ type counters struct {
 }
 
 func (c *counters) recordValue(key string, v int32) {
+	if key == "" { // partial solve: no verdict to check
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.values == nil {
@@ -137,6 +142,12 @@ func newWorkload(cfg config) *workload {
 // fresh renders a position that is unique for the given ordinal.
 func (w *workload) fresh(cfg config, n uint64) string {
 	switch w.game {
+	case "nim", "kayles":
+		// Solve workload: four small heaps/rows derived from the
+		// ordinal, so every instance solves well inside a deadline. The
+		// space is finite (7^4 specs), so a long run revisits positions
+		// — verdicts are deterministic, so the consistency check holds.
+		return fmt.Sprintf("%d,%d,%d,%d", 1+n%7, 1+(n/7)%7, 1+(n/49)%7, 1+(n/343)%7)
 	case "ttt":
 		return "" // single position; ttt is the exact-value smoke game
 	case "connect4":
@@ -187,6 +198,9 @@ type httpIssuer struct {
 }
 
 func (h *httpIssuer) issue(ctx context.Context, position string) outcome {
+	if h.cfg.solve {
+		return h.issueSolve(ctx, position)
+	}
 	body, _ := json.Marshal(serve.SearchRequest{
 		Game:       h.cfg.game,
 		Position:   position,
@@ -227,6 +241,49 @@ func (h *httpIssuer) issue(ctx context.Context, position string) outcome {
 	}
 }
 
+// issueSolve drives POST /v1/solve. The recorded "value" is the verdict
+// (1 proven, 0 disproven), which is what -expect asserts against; a
+// partial (budget-stopped) answer is a completion for latency purposes
+// but records no verdict, since unknown is not a value.
+func (h *httpIssuer) issueSolve(ctx context.Context, position string) outcome {
+	body, _ := json.Marshal(serve.SolveRequest{
+		Game:       h.cfg.game,
+		Position:   position,
+		DeadlineMs: int(h.cfg.deadline / time.Millisecond),
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.cfg.url+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return outcome{status: 500}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return outcome{status: 500}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return outcome{status: resp.StatusCode}
+	}
+	var sr serve.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return outcome{status: 500}
+	}
+	out := outcome{
+		status:    200,
+		nodes:     sr.Nodes,
+		cached:    sr.Cached,
+		coalesced: sr.Coalesced,
+	}
+	if !sr.Partial {
+		out.key = sr.Game + "|" + sr.Position
+		if sr.Verdict == "proven" {
+			out.value = 1
+		}
+	}
+	return out
+}
+
 // baselineIssuer is the no-residency reference: every request is an
 // independent SearchParallelTT call, exactly what a stateless handler
 // would do — a fresh pool spun up per request, no coalescing, no result
@@ -250,6 +307,23 @@ func (b *baselineIssuer) issue(ctx context.Context, position string) outcome {
 	}
 	sctx, cancel := context.WithTimeout(ctx, b.cfg.deadline)
 	defer cancel()
+	if b.cfg.solve {
+		res, err := pns.New(pos, pns.Options{Table: table}).Solve(sctx)
+		if err != nil {
+			if sctx.Err() != nil {
+				return outcome{status: 504}
+			}
+			return outcome{status: 500}
+		}
+		out := outcome{status: 200, nodes: res.Nodes}
+		if res.Verdict != pns.Unknown {
+			out.key = key
+			if res.Verdict == pns.Proven {
+				out.value = 1
+			}
+		}
+		return out
+	}
 	res, err := engine.SearchParallelTT(sctx, pos, b.cfg.depth, engine.SearchOptions{
 		Workers: b.cfg.workers,
 		Table:   table,
@@ -267,6 +341,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.url, "url", "", "gtserve base URL (e.g. http://127.0.0.1:8080); empty requires -baseline")
 	flag.BoolVar(&cfg.baseline, "baseline", false, "run searches in-process, one SearchParallelTT per request")
+	flag.BoolVar(&cfg.solve, "solve", false, "drive POST /v1/solve (game must be nim or kayles); -expect asserts the verdict (1 proven, 0 disproven)")
 	sharedTable := flag.Bool("baseline-shared-table", false, "with -baseline: share one table across requests instead of a fresh per-request table")
 	flag.StringVar(&cfg.game, "game", "random", "workload game: random | ttt | connect4")
 	flag.IntVar(&cfg.depth, "depth", 8, "search depth per request")
@@ -294,6 +369,10 @@ func main() {
 	}
 	if cfg.url != "" && cfg.baseline {
 		fmt.Fprintln(os.Stderr, "gtload: -url and -baseline are mutually exclusive")
+		os.Exit(2)
+	}
+	if cfg.solve && cfg.game != "nim" && cfg.game != "kayles" {
+		fmt.Fprintln(os.Stderr, "gtload: -solve wants -game nim or -game kayles")
 		os.Exit(2)
 	}
 	if *expect != "" {
@@ -482,9 +561,13 @@ func writeRun(cfg config, c *counters, wall time.Duration) error {
 	snap := c.latency.Snapshot()
 	completed := c.completed.Load()
 	issued := c.issued.Load()
+	name := "search"
+	if cfg.solve {
+		name = "solve"
+	}
 	item := benchfmt.Item{
 		Workload: fmt.Sprintf("%s-d%d-dup%02.0f", cfg.game, cfg.depth, cfg.dup*100),
-		Name:     "search",
+		Name:     name,
 		Workers:  cfg.workers,
 		Shards:   cfg.shards,
 		Reps:     int(completed),

@@ -14,6 +14,16 @@
 //	gtprove -kb rules.txt -query mortal
 //	gtprove -demo                 # run the built-in demo KB
 //	gtprove -layered 4,3,2,2 -bias 0.5   # synthetic layered KB benchmark
+//
+// The command also fronts the proof-number solver (internal/pns) on
+// combinatorial game instances:
+//
+//	gtprove -game nim -pos 3,5,7 -workers 4   # seq PN vs PN² vs pooled PNS
+//	gtprove -game andor -pos 6,3,0.4,1        # random AND/OR search space
+//	gtprove -bench -out BENCH_prove.json      # benchfmt v2 trajectory
+//
+// Unknown games or malformed instance specs exit with status 2 and a
+// usage summary on stderr.
 package main
 
 import (
@@ -38,8 +48,32 @@ func main() {
 		bias    = flag.Float64("bias", 0.5, "fact probability for the synthetic KB")
 		seed    = flag.Int64("seed", 1, "seed for the synthetic KB")
 		width   = flag.Int("width", 1, "Parallel SOLVE width")
+
+		game     = flag.String("game", "", "proof-number solve: nim, kayles or andor")
+		pos      = flag.String("pos", "", "instance spec for -game (see -game usage)")
+		workers  = flag.Int("workers", 4, "pooled PNS workers for -game")
+		pn2      = flag.Int64("pn2", 64, "PN² nested-search budget for -game")
+		maxNodes = flag.Int64("maxnodes", 0, "expansion budget for -game (0 = unbounded)")
+		bench    = flag.Bool("bench", false, "run the proof-number benchmark suite")
+		benchOut = flag.String("out", "BENCH_prove.json", "output document for -bench")
+		reps     = flag.Int("reps", 3, "timed reps per -bench row")
 	)
 	flag.Parse()
+
+	switch {
+	case *bench:
+		if err := solveBench(*benchOut, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "gtprove:", err)
+			os.Exit(1)
+		}
+		return
+	case *game != "":
+		if err := solveGame(*game, *pos, *workers, *pn2, *maxNodes); err != nil {
+			fmt.Fprintln(os.Stderr, "gtprove:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	kb, goal, err := loadKB(*kbPath, *query, *demo, *layered, *bias, *seed)
 	if err != nil {

@@ -71,6 +71,8 @@ type options struct {
 	horizon      int
 	spineOnly    bool
 	drainGrace   time.Duration
+	solveNodes   int64
+	solveStore   int
 
 	shardListen   string
 	shardPortFile string
@@ -104,6 +106,8 @@ func main() {
 	flag.IntVar(&o.horizon, "split-horizon", 0, "sequential split horizon in plies (0 = engine default)")
 	ybwc := flag.Bool("ybwc", true, "recursive YBWC splitting inside speculative subtrees (false = spine-only splits)")
 	flag.DurationVar(&o.drainGrace, "drain-grace", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.Int64Var(&o.solveNodes, "solve-max-nodes", 0, "per-request /v1/solve expansion budget cap (0 = server default)")
+	flag.IntVar(&o.solveStore, "solve-store", 0, "parked partial solvers kept for resume (0 = server default)")
 
 	flag.StringVar(&o.shardListen, "shard-listen", "127.0.0.1:0", "coordinator/worker: shard transport listen address")
 	flag.StringVar(&o.shardPortFile, "shard-portfile", "", "coordinator/worker: write the bound shard transport address here")
@@ -156,19 +160,21 @@ func runSingle(o options) int {
 	}
 	defer closeLog()
 	srv := serve.New(serve.Config{
-		Workers:         o.workers,
-		Pools:           o.pools,
-		QueueDepth:      o.queueDepth,
-		TableEntries:    o.tableSize,
-		CacheEntries:    o.cacheEntries,
-		DefaultDeadline: o.deadline,
-		MaxDeadline:     o.maxDeadline,
-		MaxDepth:        o.maxDepth,
-		SplitHorizon:    o.horizon,
-		SpineOnly:       o.spineOnly,
-		Telemetry:       rec,
-		Tracer:          tracer,
-		AccessLog:       accessLog,
+		Workers:           o.workers,
+		Pools:             o.pools,
+		QueueDepth:        o.queueDepth,
+		TableEntries:      o.tableSize,
+		CacheEntries:      o.cacheEntries,
+		DefaultDeadline:   o.deadline,
+		MaxDeadline:       o.maxDeadline,
+		MaxDepth:          o.maxDepth,
+		SplitHorizon:      o.horizon,
+		SpineOnly:         o.spineOnly,
+		SolveMaxNodes:     o.solveNodes,
+		SolveStoreEntries: o.solveStore,
+		Telemetry:         rec,
+		Tracer:            tracer,
+		AccessLog:         accessLog,
 	})
 	return serveHTTP(srv, o)
 }

@@ -41,6 +41,7 @@ import (
 	"gametree/internal/expand"
 	"gametree/internal/faultnet"
 	"gametree/internal/msgpass"
+	"gametree/internal/pns"
 	"gametree/internal/randomized"
 	"gametree/internal/sched"
 	"gametree/internal/telemetry"
@@ -572,4 +573,55 @@ func NewTelemetryRecorder() *TelemetryRecorder { return telemetry.NewRecorder() 
 // transposition table and optional telemetry recorder.
 func SearchParallelOpt(ctx context.Context, pos Position, depth int, opt EngineOptions) (SearchResult, error) {
 	return engine.SearchParallelOpt(ctx, pos, depth, opt)
+}
+
+// ---------------------------------------------------------------------------
+// Proof-number solver (internal/pns)
+
+// ProofVerdict is the outcome of a proof-number solve: whether the side
+// to move at the root wins (Proven), loses (Disproven), or the solve
+// stopped first (Unknown).
+type ProofVerdict = pns.Verdict
+
+// Proof-number verdicts.
+const (
+	ProofUnknown   = pns.Unknown
+	ProofProven    = pns.Proven
+	ProofDisproven = pns.Disproven
+)
+
+// ProofOptions configures a proof-number solve: optional shared
+// TranspositionTable (proof/disproof numbers pack into the standard
+// entry layout, so solvers and alpha-beta searches share one table),
+// MaxNodes expansion budget, and PN2Budget enabling the two-level PN²
+// variant in sequential solves.
+type ProofOptions = pns.Options
+
+// ProofResult reports a solve: verdict, root proof/disproof numbers and
+// work counters.
+type ProofResult = pns.Result
+
+// ProofSolver holds the solve state for one root position; it is
+// retained across calls, so a budget- or deadline-stopped solve resumes
+// where it left off.
+type ProofSolver = pns.Solver
+
+// NewProofSolver builds a solver for pos (implement Hasher on the
+// position for transposition-table sharing).
+func NewProofSolver(pos Position, opt ProofOptions) *ProofSolver { return pns.New(pos, opt) }
+
+// SolvePN runs sequential proof-number search (PN² when
+// ProofOptions.PN2Budget is set) to a verdict, budget stop or
+// cancellation.
+func SolvePN(ctx context.Context, pos Position, opt ProofOptions) (ProofResult, error) {
+	return pns.New(pos, opt).Solve(ctx)
+}
+
+// SolveParallel runs proof-number search on the resident workers of an
+// EnginePool: concurrent most-proving-node descents steered apart by
+// virtual proof numbers, with real numbers deciding the verdict. With
+// one worker it expands exactly the sequential PN node sequence.
+func SolveParallel(ctx context.Context, pool *EnginePool, pos Position, opt ProofOptions) (ProofResult, error) {
+	s := pns.New(pos, opt)
+	return s.SolveParallel(ctx, pool)
 }

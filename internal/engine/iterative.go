@@ -32,12 +32,18 @@ type SearchOptions struct {
 	// splittable searcher and may split again, with per-node windows
 	// narrowed by the freshest shared bound.
 	SpineOnly bool
+	// Watermark raises the demand-driven split gate: a worker opens a
+	// split point while its own deque holds at most this many queued
+	// tasks. The default 0 splits only once the queue has drained
+	// (thieves are provably hungry); 1 or 2 keep that many tasks queued
+	// ahead of demand so a thief arriving between splits never stalls.
+	Watermark int
 }
 
 // poolConfig maps the option set's split-shaping knobs onto the pool's
 // internal config.
 func (opt SearchOptions) poolConfig() poolConfig {
-	return poolConfig{horizon: opt.SplitHorizon, spineOnly: opt.SpineOnly}
+	return poolConfig{horizon: opt.SplitHorizon, spineOnly: opt.SpineOnly, watermark: opt.Watermark}
 }
 
 // SearchTT is Search with a transposition table: results of previous

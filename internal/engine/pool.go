@@ -71,11 +71,16 @@ func (c poolConfig) normalize() poolConfig {
 
 // task is one speculative sibling search, embedded in its split point's
 // task slab so a split costs O(1) allocations, not O(branching).
+// fn-tasks are the second task kind (fanout): instead of a sibling
+// position they carry a function run with the executing worker — the hook
+// other engines (the proof-number solver) use to borrow the resident
+// worker set without duplicating the park/steal machinery.
 type task struct {
 	sp    *splitPoint
 	pos   Position
 	idx   int // move index at the split node
 	depth int // remaining depth for the child search
+	fn    func(w *worker)
 }
 
 // splitPoint coordinates the speculative siblings of one spine node: the
@@ -520,6 +525,10 @@ func (w *worker) nextRand() uint64 {
 // runs the plain sequential negamax. Siblings cut or interrupted on the
 // way report ok=false so their partial values are never merged.
 func (w *worker) runTask(t *task) {
+	if t.fn != nil {
+		w.runFn(t)
+		return
+	}
 	sp := t.sp
 	if w.pool.stop.Load() || sp.aborted() {
 		if w.tm != nil {
@@ -567,6 +576,49 @@ func (w *worker) runTask(t *task) {
 		}
 	}
 	sp.complete(t.idx, -v, ok)
+}
+
+// runFn executes one fanout task with the same panic isolation as the
+// speculative siblings: a panic fails the pool (aborting every sibling
+// invocation through the stop flag) instead of killing the process, and
+// the pending decrement runs regardless so the owner's join drains.
+func (w *worker) runFn(t *task) {
+	sp := t.sp
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.fail(r)
+		}
+		sp.pending.Add(-1)
+	}()
+	if !w.pool.stop.Load() {
+		t.fn(w)
+	}
+}
+
+// fanout runs fn once per pool worker: worker 0 pushes one fn-task per
+// helper onto its deque (the parked helpers wake and steal them the
+// moment runSearch raises active) and runs its own invocation in place,
+// then helps until the join drains. fn must poll p.stop (via the caller's
+// stop predicate) and return promptly on cancellation; runSearch maps a
+// cancelled ctx onto the usual ErrCancelled contract.
+func (p *pool) fanout(ctx context.Context, fn func(w *worker)) error {
+	_, err := p.runSearch(ctx, func(w0 *worker) (int64, int) {
+		if n := len(p.workers); n > 1 {
+			sp := &splitPoint{}
+			sp.pending.Store(int32(n - 1))
+			sp.tasks = make([]task, n-1)
+			for i := n - 2; i >= 0; i-- {
+				sp.tasks[i] = task{sp: sp, fn: fn}
+				w0.dq.push(&sp.tasks[i])
+			}
+			fn(w0)
+			w0.join(sp)
+		} else {
+			fn(w0)
+		}
+		return 0, -1
+	})
+	return err
 }
 
 // noteAbort accounts one aborted task: the plain counter, the nested-abort

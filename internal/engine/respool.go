@@ -78,6 +78,30 @@ func (rp *Pool) Search(ctx context.Context, pos Position, depth int) (Result, er
 	})
 }
 
+// Fanout runs fn concurrently on the resident workers — the hook that
+// lets other engines (the proof-number solver) borrow the pool's warm
+// worker set. fn is invoked with the executing worker's id, that
+// worker's telemetry shard (nil when the pool is uninstrumented; shards
+// are single-writer, and Fanout is serialized against Search, so fn may
+// write them freely) and a stop predicate that turns true when ctx is
+// cancelled or a sibling invocation panicked; fn must poll it and return
+// promptly. Worker 0 runs on the calling goroutine and may execute more
+// than one invocation (helping), so fn must be safe to run repeatedly.
+// The error contract matches Search: ErrCancelled (wrapping
+// context.DeadlineExceeded on timeout) or ErrSearchPanic.
+func (rp *Pool) Fanout(ctx context.Context, fn func(id int, tm *telemetry.Shard, stopped func() bool)) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.closed {
+		return ErrPoolClosed
+	}
+	rp.table.Advance() // nil-safe
+	stopped := func() bool { return rp.p.stop.Load() }
+	return rp.p.fanout(ctx, func(w *worker) {
+		fn(w.id, w.tm, stopped)
+	})
+}
+
 // Close shuts the helper goroutines down. Idempotent; Search returns
 // ErrPoolClosed afterwards.
 func (rp *Pool) Close() {

@@ -14,11 +14,17 @@ type Hasher interface {
 }
 
 // Bound flags for table entries. Exported so the shard tier can carry
-// entries between processes in the two-level table.
+// entries between processes in the two-level table. BoundPN marks a
+// proof-number entry: the value lane carries packed proof/disproof
+// numbers instead of a negamax score. Alpha-beta probes fall through
+// every case of their bound switch on it (and PN probes ignore the other
+// three), so the two engines share one table without misreading each
+// other's entries.
 const (
 	BoundExact uint64 = iota
 	BoundLower
 	BoundUpper
+	BoundPN
 )
 
 // RemoteTT is the remote half of a two-level transposition table: a
@@ -202,6 +208,74 @@ func (t *Table) Probe(hash uint64) (value int32, depth int, flag uint64, best in
 
 // Len returns the capacity in entries.
 func (t *Table) Len() int { return len(t.words) / 2 }
+
+// Proof-number entries pack both numbers into the 32-bit value lane of
+// the standard entry layout: [pn:16 | dn:16], with 0xFFFF standing for
+// infinity and finite values saturating at 0xFFFE. Saturation is safe:
+// stored numbers only seed a re-expanded node's initialization — the
+// solver recomputes exact numbers from the children — and the entries
+// that decide correctness (solved: pn or dn zero) always pack exactly.
+const (
+	// PNInf is the solver-side infinity for proof/disproof numbers.
+	PNInf uint32 = ^uint32(0)
+
+	pnPackedInf = 0xFFFF
+	pnPackedMax = 0xFFFE
+)
+
+// packPNHalf narrows one proof/disproof number to its 16-bit lane.
+func packPNHalf(n uint32) uint64 {
+	if n == PNInf {
+		return pnPackedInf
+	}
+	if n > pnPackedMax {
+		n = pnPackedMax
+	}
+	return uint64(n)
+}
+
+// unpackPNHalf widens one 16-bit lane back to a solver number.
+func unpackPNHalf(h uint64) uint32 {
+	if h == pnPackedInf {
+		return PNInf
+	}
+	return uint32(h)
+}
+
+// StorePN records proof/disproof numbers for the position with the given
+// hash. Solved entries (pn or dn zero: a decided subtree, exact forever)
+// are stored at the maximum depth, so the depth-preferred replacement
+// keeps them ahead of unsolved hints and the two-level remote tier
+// forwards them to the owning shard; unsolved snapshots stay at depth 1 —
+// local move-ordering fuel, too volatile to ship. The eviction return
+// matches Store.
+func (t *Table) StorePN(hash uint64, pn, dn uint32) bool {
+	depth := 1
+	if pn == 0 || dn == 0 {
+		depth = ttDepthMax
+	}
+	value := int32(packPNHalf(pn)<<16 | packPNHalf(dn))
+	return t.StoreShared(hash, value, depth, BoundPN, -1)
+}
+
+// ProbePN looks up proof/disproof numbers, ignoring entries of any other
+// bound kind (ok false). On a complete miss an asynchronous remote probe
+// is issued at the solved-entry depth, so shards cross-seed solved
+// subtrees; a live local entry — even an unsolved hint — suppresses the
+// remote traffic, which would otherwise fire on every expansion.
+func (t *Table) ProbePN(hash uint64) (pn, dn uint32, ok bool) {
+	value, _, flag, _, hit := t.Probe(hash)
+	if t != nil && !hit {
+		if h := t.remote.Load(); h != nil {
+			h.r.Probe(hash, ttDepthMax)
+		}
+	}
+	if !hit || flag != BoundPN {
+		return 0, 0, false
+	}
+	v := uint64(uint32(value))
+	return unpackPNHalf(v >> 16), unpackPNHalf(v & 0xFFFF), true
+}
 
 // SetRemote attaches (or, with nil, detaches) the remote half of a
 // two-level table. Probes and stores at remaining depth >= minDepth are

@@ -292,11 +292,11 @@ func TestValidate(t *testing.T) {
 		{Delay: 0.5},                       // delay prob without bound
 		{Reorder: 0.1},                     // reorder without jitter bound
 		{Crashes: []ProcCrash{{Proc: -1}}}, // negative proc
-		{Stalls: []ProcStall{{Proc: 0, At: 0, For: 0}}},  // zero stall
-		{Stalls: []ProcStall{{Proc: 0, At: -1, For: 1}}}, // negative start
-		{Partitions: []LinkPartition{{A: -1, B: 2, For: 1}}},       // negative proc
-		{Partitions: []LinkPartition{{A: 2, B: 2, For: 1}}},        // self link
-		{Partitions: []LinkPartition{{A: 0, B: 1, For: 0}}},        // zero window
+		{Stalls: []ProcStall{{Proc: 0, At: 0, For: 0}}},             // zero stall
+		{Stalls: []ProcStall{{Proc: 0, At: -1, For: 1}}},            // negative start
+		{Partitions: []LinkPartition{{A: -1, B: 2, For: 1}}},        // negative proc
+		{Partitions: []LinkPartition{{A: 2, B: 2, For: 1}}},         // self link
+		{Partitions: []LinkPartition{{A: 0, B: 1, For: 0}}},         // zero window
 		{Partitions: []LinkPartition{{A: 0, B: 1, At: -1, For: 1}}}, // negative start
 	}
 	for i, cfg := range bad {

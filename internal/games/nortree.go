@@ -1,0 +1,78 @@
+package games
+
+import (
+	"fmt"
+
+	"gametree/internal/engine"
+	"gametree/internal/tree"
+)
+
+// NORTree adapts a node of a Boolean NOR tree (the paper's normal form,
+// and the shape games/horn.ProofTree emits) to an engine.Position, so
+// the proof-number solver can decide NOR trees through the same
+// interface as Nim or Kayles.
+//
+// The game reading of a NOR tree: the player to move at v picks a child
+// and hands the move to the opponent; at a leaf, the side to move wins
+// iff the leaf value is 0. By induction the side to move at v wins iff
+// the NOR value f(v) is 0 — at an internal node the mover wins iff some
+// child c has the opponent losing, i.e. f(c) = 1, i.e. f(v) = 0. A
+// Proven verdict at the root therefore means the NOR root evaluates to
+// 0, which for Horn proof trees is exactly "the goal is provable"
+// (see ProvableByTree).
+type NORTree struct {
+	T *tree.Tree
+	// ID is the node this position stands at (the root for a fresh
+	// instance).
+	ID tree.NodeID
+	// Seed perturbs the position hash so distinct trees sharing one
+	// transposition table do not alias node ids.
+	Seed uint64
+}
+
+// NewNORTree returns the root position of t. It panics on non-NOR trees:
+// the win condition below is only meaningful for the Boolean kind.
+func NewNORTree(t *tree.Tree, seed uint64) NORTree {
+	if t.Kind != tree.NOR {
+		panic("games: NORTree requires a NOR tree")
+	}
+	return NORTree{T: t, ID: t.Root(), Seed: seed}
+}
+
+// Moves returns one successor position per child.
+func (p NORTree) Moves() []engine.Position {
+	n := p.T.Node(p.ID)
+	out := make([]engine.Position, n.NumChildren)
+	for i := range out {
+		out[i] = NORTree{T: p.T, ID: n.FirstChild + tree.NodeID(i), Seed: p.Seed}
+	}
+	return out
+}
+
+// Evaluate scores a leaf from the mover's perspective: leaf value 0
+// means the side to move wins.
+func (p NORTree) Evaluate() int32 {
+	n := p.T.Node(p.ID)
+	if n.NumChildren > 0 {
+		return 0 // non-terminal; only reached at a depth horizon
+	}
+	if n.Value == 0 {
+		return engine.WinScore()
+	}
+	return -engine.WinScore()
+}
+
+// Hash mixes the node id with the tree seed (splitmix64 finalizer).
+// Node ids are unique within one arena, so within a tree the hash is
+// collision-free up to mixing.
+func (p NORTree) Hash() uint64 {
+	z := p.Seed + 0x9e3779b97f4a7c15*(uint64(p.ID)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p NORTree) String() string { return fmt.Sprintf("nor@%d", p.ID) }
+
+var _ engine.Position = NORTree{}
+var _ engine.Hasher = NORTree{}

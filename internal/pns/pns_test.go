@@ -1,0 +1,248 @@
+package pns
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gametree/internal/engine"
+	"gametree/internal/games"
+	"gametree/internal/tree"
+)
+
+// randomNim returns a Nim position small enough to solve quickly but
+// large enough to need a real tree.
+func randomNim(rng *rand.Rand) games.Nim {
+	heaps := make([]int, 2+rng.Intn(3))
+	for i := range heaps {
+		heaps[i] = 1 + rng.Intn(6)
+	}
+	return games.NewNim(heaps...)
+}
+
+// randomKayles returns a Kayles position with a few short rows.
+func randomKayles(rng *rand.Rand) games.Kayles {
+	rows := make([]int, 1+rng.Intn(3))
+	for i := range rows {
+		rows[i] = 1 + rng.Intn(6)
+	}
+	return games.NewKayles(rows...)
+}
+
+func verdictWord(win bool) Verdict {
+	if win {
+		return Proven
+	}
+	return Disproven
+}
+
+// TestSolveMatchesSpragueGrundy checks the pooled parallel solver
+// against the closed-form oracles on ≥50 random instances: Nim's xor
+// rule and Kayles' periodic Grundy values. All instances share one
+// table and one pool, so the test also exercises TT cross-seeding
+// between solves.
+func TestSolveMatchesSpragueGrundy(t *testing.T) {
+	table := engine.NewTable(1 << 14)
+	pool := engine.NewPool(4, table, nil)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		pos := randomNim(rng)
+		want := verdictWord(pos.XorValue() != 0)
+		s := New(pos, Options{Table: table})
+		res, err := s.SolveParallel(context.Background(), pool)
+		if err != nil {
+			t.Fatalf("nim %v: %v", pos, err)
+		}
+		if res.Verdict != want {
+			t.Fatalf("nim %v: verdict %v, xor oracle says %v", pos, res.Verdict, want)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		pos := randomKayles(rng)
+		want := verdictWord(pos.GrundyValue() != 0)
+		s := New(pos, Options{Table: table})
+		res, err := s.SolveParallel(context.Background(), pool)
+		if err != nil {
+			t.Fatalf("kayles %v: %v", pos, err)
+		}
+		if res.Verdict != want {
+			t.Fatalf("kayles %v: verdict %v, Grundy oracle says %v", pos, res.Verdict, want)
+		}
+	}
+}
+
+// TestSequentialMatchesOracle covers the sequential baseline and PN²
+// on the same oracles.
+func TestSequentialMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	table := engine.NewTable(1 << 14)
+	for i := 0; i < 20; i++ {
+		pos := randomNim(rng)
+		want := verdictWord(pos.XorValue() != 0)
+		for _, pn2 := range []int64{0, 8} {
+			s := New(pos, Options{PN2Budget: pn2, Table: table})
+			res, err := s.Solve(context.Background())
+			if err != nil {
+				t.Fatalf("nim %v pn2=%d: %v", pos, pn2, err)
+			}
+			if res.Verdict != want {
+				t.Fatalf("nim %v pn2=%d: verdict %v, want %v", pos, pn2, res.Verdict, want)
+			}
+		}
+	}
+}
+
+// TestW1NodeParity pins the virtual-number discipline: with one worker
+// the virtual counts are zero at every selection point, so the pooled
+// solver must expand exactly the node sequence — and count — of
+// sequential PN. Tables are nil so no cross-seeding perturbs either run.
+func TestW1NodeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := engine.NewPool(1, nil, nil)
+	defer pool.Close()
+	for i := 0; i < 8; i++ {
+		heaps := make([]int, 2+rng.Intn(2))
+		for j := range heaps {
+			heaps[j] = 1 + rng.Intn(4)
+		}
+		pos := games.NewNim(heaps...)
+		seq := New(pos, Options{})
+		seqRes, err := seq.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := New(pos, Options{})
+		parRes, err := par.SolveParallel(context.Background(), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRes.Expands != parRes.Expands || seqRes.Nodes != parRes.Nodes {
+			t.Fatalf("nim %v: sequential (expands=%d nodes=%d) != w=1 pooled (expands=%d nodes=%d)",
+				pos, seqRes.Expands, seqRes.Nodes, parRes.Expands, parRes.Nodes)
+		}
+		if seqRes.Verdict != parRes.Verdict {
+			t.Fatalf("nim %v: verdicts diverge: %v vs %v", pos, seqRes.Verdict, parRes.Verdict)
+		}
+	}
+}
+
+// TestNORTree solves Horn-KB proof trees and random NOR trees through
+// the NORTree adapter: Proven must coincide with the NOR root
+// evaluating to 0.
+func TestNORTree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tr := tree.IIDNor(4, 3, 0.35, seed)
+		pos := games.NewNORTree(tr, uint64(seed)*0x9e3779b9)
+		want := verdictWord(tr.Evaluate() == 0)
+		s := New(pos, Options{})
+		res, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != want {
+			t.Fatalf("seed %d: verdict %v, NOR root is %d", seed, res.Verdict, tr.Evaluate())
+		}
+	}
+}
+
+// TestMaxNodesResume stops a solve on a tiny expansion budget, checks
+// the partial state, then resumes the same solver to completion.
+func TestMaxNodesResume(t *testing.T) {
+	pos := games.NewNim(3, 5, 7)
+	s := New(pos, Options{MaxNodes: 5})
+	res, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("budget 5 solved nim[3 5 7] already: %+v", res)
+	}
+	if res.Expands < 5 {
+		t.Fatalf("stopped after %d expands, budget was 5", res.Expands)
+	}
+	prog := s.Progress()
+	if prog.PN == 0 || prog.DN == 0 {
+		t.Fatalf("partial progress claims a solved root: %+v", prog)
+	}
+	s.opt.MaxNodes = 0
+	res2, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != verdictWord(pos.XorValue() != 0) {
+		t.Fatalf("resumed verdict %v", res2.Verdict)
+	}
+	if res2.Expands <= res.Expands {
+		t.Fatalf("resume did not continue counting: %d then %d", res.Expands, res2.Expands)
+	}
+}
+
+// TestDeadline checks the cancellation contract on both paths: an
+// expired context yields engine.ErrCancelled wrapping
+// context.DeadlineExceeded and an Unknown partial result, and the
+// solver stays resumable afterwards.
+func TestDeadline(t *testing.T) {
+	pool := engine.NewPool(2, nil, nil)
+	defer pool.Close()
+	pos := games.NewNim(9, 10, 11, 12)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	s := New(pos, Options{})
+	res, err := s.SolveParallel(ctx, pool)
+	if !errors.Is(err, engine.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("pooled deadline error %v", err)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("expired deadline produced verdict %v", res.Verdict)
+	}
+
+	s2 := New(pos, Options{})
+	_, err = s2.Solve(ctx)
+	if !errors.Is(err, engine.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sequential deadline error %v", err)
+	}
+
+	// The deadline-stopped solver resumes on a healthy context (budget-
+	// bounded: the position is deliberately too big to finish here).
+	s.opt.MaxNodes = 2000
+	if _, err := s.SolveParallel(context.Background(), pool); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTTSharing solves the same position twice over one table; the
+// second solver must start from the stored solved root and finish
+// without expanding anything.
+func TestTTSharing(t *testing.T) {
+	table := engine.NewTable(1 << 12)
+	pos := games.NewNim(4, 5)
+	first := New(pos, Options{Table: table})
+	if _, err := first.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second := New(pos, Options{Table: table})
+	res, err := second.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != verdictWord(pos.XorValue() != 0) {
+		t.Fatalf("warm verdict %v", res.Verdict)
+	}
+	if res.Expands != 0 {
+		t.Fatalf("warm solve expanded %d nodes; the table held the solved root", res.Expands)
+	}
+}
+
+// TestVerdictString pins the wire words used by /v1/solve.
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{Unknown: "unknown", Proven: "proven", Disproven: "disproven"} {
+		if v.String() != want {
+			t.Fatalf("%d.String() = %q", v, v.String())
+		}
+	}
+}

@@ -29,6 +29,9 @@ type serveStats struct {
 	degraded         atomic.Int64 // 200s answered in degraded mode (local fallback)
 	failed           atomic.Int64 // 500: search error
 	inflight         atomic.Int64 // requests between admission check and response
+	solveRequests    atomic.Int64 // POST /v1/solve received
+	solvePartial     atomic.Int64 // solves stopped before a verdict (parked for resume)
+	solveResumed     atomic.Int64 // solves that continued a parked partial tree
 
 	queueWaitNs metrics.Histogram // leader wait for a free pool
 	latencyNs   metrics.Histogram // full request latency, all outcomes
@@ -52,6 +55,9 @@ func (s *serveStats) writeProm(w io.Writer) error {
 		{"gametree_serve_completed_total", "Requests answered 200.", &s.completed},
 		{"gametree_serve_degraded_total", "Requests answered 200 in degraded mode (shard ring empty, local fallback).", &s.degraded},
 		{"gametree_serve_failed_total", "Requests answered 500 (search error).", &s.failed},
+		{"gametree_serve_solve_requests_total", "Solve requests received.", &s.solveRequests},
+		{"gametree_serve_solve_partial_total", "Solves stopped before a verdict and parked for resume.", &s.solvePartial},
+		{"gametree_serve_solve_resumed_total", "Solves that continued a parked partial tree.", &s.solveResumed},
 	}
 	for _, c := range counters {
 		if err := telemetry.PromCounter(w, c.name, c.help, c.v.Load()); err != nil {

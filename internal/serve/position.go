@@ -7,6 +7,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,8 @@ var (
 		"ttt":      parseTTTPosition,
 		"connect4": parseConnect4Position,
 		"random":   parseRandomPosition,
+		"nim":      parseNimPosition,
+		"kayles":   parseKaylesPosition,
 	}
 )
 
@@ -43,7 +46,7 @@ func ParsePosition(game, position string) (engine.Position, string, error) {
 	parse := parsers[game]
 	parsersMu.RUnlock()
 	if parse == nil {
-		return nil, "", fmt.Errorf("unknown game %q (want ttt, connect4 or random)", game)
+		return nil, "", fmt.Errorf("unknown game %q (want ttt, connect4, random, nim or kayles)", game)
 	}
 	pos, canon, err := parse(position)
 	if err != nil {
@@ -85,6 +88,60 @@ func parseConnect4Position(position string) (engine.Position, string, error) {
 		p = next
 	}
 	return p, position, nil
+}
+
+// parseIntList accepts comma- or space-separated non-negative decimals
+// ("3,5,7" or "3 5 7"), the shared syntax of the nim and kayles
+// positions. The canonical form sorts them ascending and drops zero
+// entries, so permutations (and empty heaps) coalesce — the game values
+// are symmetric in both.
+func parseIntList(position, what string, max int) ([]int, string, error) {
+	fields := strings.FieldsFunc(position, func(r rune) bool { return r == ',' || r == ' ' })
+	if len(fields) == 0 {
+		return nil, "", fmt.Errorf("empty %s position", what)
+	}
+	vals := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s %q: %w", what, f, err)
+		}
+		if v < 0 || v > max {
+			return nil, "", fmt.Errorf("%s %d out of range [0, %d]", what, v, max)
+		}
+		if v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	canon := strings.Join(parts, ",")
+	if canon == "" {
+		canon = "0"
+	}
+	return vals, canon, nil
+}
+
+// parseNimPosition accepts Nim heap sizes ("3,5,7"); heaps are capped so
+// a request cannot pose an astronomically wide tree.
+func parseNimPosition(position string) (engine.Position, string, error) {
+	heaps, canon, err := parseIntList(position, "heap", 64)
+	if err != nil {
+		return nil, "", err
+	}
+	return games.NewNim(heaps...), canon, nil
+}
+
+// parseKaylesPosition accepts Kayles row lengths ("5,6").
+func parseKaylesPosition(position string) (engine.Position, string, error) {
+	rows, canon, err := parseIntList(position, "row", 64)
+	if err != nil {
+		return nil, "", err
+	}
+	return games.NewKayles(rows...), canon, nil
 }
 
 // parseRandomPosition accepts "seed" or "seed:branch" (decimal, branch

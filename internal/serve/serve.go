@@ -66,6 +66,13 @@ type Config struct {
 	MaxDeadline     time.Duration
 	// MaxDepth clamps the request depth (0 = 16).
 	MaxDepth int
+	// SolveMaxNodes caps (and defaults) the expansion budget of one
+	// /v1/solve request (0 = 1<<21). Budget-stopped solves return a
+	// resumable partial response.
+	SolveMaxNodes int64
+	// SolveStoreEntries bounds the store of parked partial solvers
+	// awaiting resume (0 = 32; negative disables parking).
+	SolveStoreEntries int
 	// RetryAfter is the hint attached to 429/503 responses (0 = 1s).
 	RetryAfter time.Duration
 	// SplitHorizon is the engine's sequential horizon: subtrees at or
@@ -137,6 +144,15 @@ func (c *Config) applyDefaults() {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SolveMaxNodes == 0 {
+		c.SolveMaxNodes = 1 << 21
+	}
+	if c.SolveStoreEntries == 0 {
+		c.SolveStoreEntries = 32
+	}
+	if c.SolveStoreEntries < 0 {
+		c.SolveStoreEntries = 0
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRecorder()
 	}
@@ -192,6 +208,10 @@ type Server struct {
 	cache   *resultCache
 	stats   serveStats
 
+	solves     solveFlights // in-flight /v1/solve leaders
+	solveCache *solveCache  // completed solve verdicts
+	partials   *solverStore // parked partial solvers awaiting resume
+
 	drainMu  sync.RWMutex // guards draining vs inflight.Add
 	draining bool
 	inflight sync.WaitGroup
@@ -212,6 +232,8 @@ func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{cfg: cfg, start: time.Now()}
 	s.cache = newResultCache(cfg.CacheEntries)
+	s.solveCache = newSolveCache(cfg.CacheEntries)
+	s.partials = newSolverStore(cfg.SolveStoreEntries)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.free = make(chan *engine.Pool, cfg.Pools)
 	if cfg.Backend != nil {
@@ -235,6 +257,7 @@ func New(cfg Config) *Server {
 	cfg.Telemetry.AddPromSection(s.stats.writeProm)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", telemetry.PromHandler(cfg.Telemetry))
 	// Nil-safe: with tracing off the endpoint serves an empty dump, so

@@ -217,12 +217,12 @@ type Coordinator struct {
 	wasAlive  map[int]bool            // previous liveness sweep, for death-edge detection
 	offsets   map[int]reqtrace.Offset // per-worker clock offsets from ping echoes
 	recovery  recoveryTracker
-	epoch     uint64               // membership epoch: bumps on every death edge and rejoin; coordinator is the single writer
-	lastBoot  map[int]uint64       // last boot nonce seen per worker, for fast-restart detection
-	deadSince map[int]time.Time    // when each currently-dead worker's liveness lapsed
-	peerAddrs map[int]string       // mutable copy of cfg.PeerAddrs; rejoins rewrite entries
-	rng       *rand.Rand           // backoff jitter; guarded by mu
-	member    map[int]bool         // ring membership, for filtering foreign pings
+	epoch     uint64            // membership epoch: bumps on every death edge and rejoin; coordinator is the single writer
+	lastBoot  map[int]uint64    // last boot nonce seen per worker, for fast-restart detection
+	deadSince map[int]time.Time // when each currently-dead worker's liveness lapsed
+	peerAddrs map[int]string    // mutable copy of cfg.PeerAddrs; rejoins rewrite entries
+	rng       *rand.Rand        // backoff jitter; guarded by mu
+	member    map[int]bool      // ring membership, for filtering foreign pings
 
 	rejoins       int64 // workers admitted back (epoch bumps from pings)
 	fenced        int64 // stale-epoch results discarded

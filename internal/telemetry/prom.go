@@ -56,6 +56,9 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		{"gametree_remote_hits_total", "Remote TT probes answered with a usable entry.", s.Total.RemoteHits},
 		{"gametree_remote_stores_total", "Transposition-table stores forwarded to the owning shard.", s.Total.RemoteStores},
 		{"gametree_remote_skips_total", "Remote TT probes skipped because the in-flight window was full.", s.Total.RemoteSkips},
+		{"gametree_pn_nodes_total", "Nodes traversed during proof-number most-proving descents.", s.Total.PNNodes},
+		{"gametree_pn_expands_total", "Leaves expanded by the proof-number solver.", s.Total.PNExpands},
+		{"gametree_pn_updates_total", "Ancestor proof/disproof-number recomputations.", s.Total.PNUpdates},
 	}
 	for _, c := range counters {
 		if err := promHeader(w, c.name, c.help, "counter"); err != nil {

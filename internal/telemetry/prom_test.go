@@ -90,6 +90,15 @@ gametree_remote_stores_total 15
 # HELP gametree_remote_skips_total Remote TT probes skipped because the in-flight window was full.
 # TYPE gametree_remote_skips_total counter
 gametree_remote_skips_total 2
+# HELP gametree_pn_nodes_total Nodes traversed during proof-number most-proving descents.
+# TYPE gametree_pn_nodes_total counter
+gametree_pn_nodes_total 50
+# HELP gametree_pn_expands_total Leaves expanded by the proof-number solver.
+# TYPE gametree_pn_expands_total counter
+gametree_pn_expands_total 14
+# HELP gametree_pn_updates_total Ancestor proof/disproof-number recomputations.
+# TYPE gametree_pn_updates_total counter
+gametree_pn_updates_total 28
 # HELP gametree_workers Worker shards registered with the recorder.
 # TYPE gametree_workers gauge
 gametree_workers 2
@@ -189,6 +198,15 @@ gametree_shard_rpc_ns_bucket{le="32768"} 1
 gametree_shard_rpc_ns_bucket{le="+Inf"} 1
 gametree_shard_rpc_ns_sum 30000
 gametree_shard_rpc_ns_count 1
+# HELP gametree_pns_mpn_depth Tree depth of each most-proving node a proof-number worker descended to.
+# TYPE gametree_pns_mpn_depth histogram
+gametree_pns_mpn_depth_bucket{le="1"} 0
+gametree_pns_mpn_depth_bucket{le="2"} 0
+gametree_pns_mpn_depth_bucket{le="4"} 1
+gametree_pns_mpn_depth_bucket{le="8"} 2
+gametree_pns_mpn_depth_bucket{le="+Inf"} 2
+gametree_pns_mpn_depth_sum 9
+gametree_pns_mpn_depth_count 2
 `
 
 // buildPromFixture populates a recorder with a small deterministic state
@@ -234,6 +252,11 @@ func buildPromFixture() *Recorder {
 	a.RemoteStores.Add(15)
 	a.RemoteSkips.Add(2)
 	a.Hist[HistShardRPCNs].Observe(30000)
+	a.PNNodes.Add(50)
+	a.PNExpands.Add(14)
+	b.PNUpdates.Add(28)
+	a.Hist[HistPNMPNDepth].Observe(3)
+	b.Hist[HistPNMPNDepth].Observe(6)
 	return r
 }
 

@@ -57,6 +57,7 @@ const (
 	HistRecoveryNs               // heartbeat silence until a crash was declared, ns
 	HistSplitDepth               // remaining search depth at each opened split point
 	HistShardRPCNs               // shard RPC round trip (task dispatch→result, probe→reply), ns
+	HistPNMPNDepth               // tree depth of each most-proving node a solver worker descended to
 	NumHists
 )
 
@@ -84,6 +85,8 @@ func HistName(i int) string {
 		return "split_depth"
 	case HistShardRPCNs:
 		return "shard_rpc_ns"
+	case HistPNMPNDepth:
+		return "pns_mpn_depth"
 	}
 	return ""
 }
@@ -111,6 +114,8 @@ func HistHelp(i int) string {
 		return "Remaining search depth at each opened split point."
 	case HistShardRPCNs:
 		return "Shard RPC round-trip latency (task dispatch to result, TT probe to reply), nanoseconds."
+	case HistPNMPNDepth:
+		return "Tree depth of each most-proving node a proof-number worker descended to."
 	}
 	return ""
 }
@@ -156,6 +161,11 @@ func HistHelp(i int) string {
 //	               owning shard, replies that carried a usable entry,
 //	               stores forwarded to the owner, and probes skipped
 //	               because the bounded in-flight window was full
+//	PNNodes/PNExpands/PNUpdates
+//	               proof-number solver: nodes traversed during
+//	               most-proving-node descents, leaves expanded (children
+//	               generated and initialized), and ancestor
+//	               proof/disproof-number recomputations on the way back up
 type Shard struct {
 	Tasks         atomic.Int64
 	StealAttempts atomic.Int64
@@ -184,6 +194,9 @@ type Shard struct {
 	RemoteHits    atomic.Int64
 	RemoteStores  atomic.Int64
 	RemoteSkips   atomic.Int64
+	PNNodes       atomic.Int64
+	PNExpands     atomic.Int64
+	PNUpdates     atomic.Int64
 
 	// Hist keeps the distributions behind the counters above (see the
 	// Hist* index constants). Same discipline: single writer, atomic only
@@ -231,6 +244,9 @@ type Counts struct {
 	RemoteHits    int64
 	RemoteStores  int64
 	RemoteSkips   int64
+	PNNodes       int64
+	PNExpands     int64
+	PNUpdates     int64
 }
 
 // load copies a shard's counters.
@@ -263,6 +279,9 @@ func (s *Shard) load() Counts {
 		RemoteHits:    s.RemoteHits.Load(),
 		RemoteStores:  s.RemoteStores.Load(),
 		RemoteSkips:   s.RemoteSkips.Load(),
+		PNNodes:       s.PNNodes.Load(),
+		PNExpands:     s.PNExpands.Load(),
+		PNUpdates:     s.PNUpdates.Load(),
 	}
 }
 
@@ -297,6 +316,9 @@ func (c *Counts) add(o Counts) {
 	c.RemoteHits += o.RemoteHits
 	c.RemoteStores += o.RemoteStores
 	c.RemoteSkips += o.RemoteSkips
+	c.PNNodes += o.PNNodes
+	c.PNExpands += o.PNExpands
+	c.PNUpdates += o.PNUpdates
 }
 
 // Snapshot is a point-in-time view of a Recorder: the per-shard counters,
@@ -492,6 +514,17 @@ type Report struct {
 	ShardRPCP50Us float64 `json:"shard_rpc_p50_us,omitempty"`
 	ShardRPCP99Us float64 `json:"shard_rpc_p99_us,omitempty"`
 	ShardRPCMaxUs float64 `json:"shard_rpc_max_us,omitempty"`
+	// Proof-number solver traffic (solve runs only; zero and omitted on
+	// alpha-beta searches): descent nodes, leaf expansions, ancestor
+	// updates, and the depth distribution of the most-proving nodes the
+	// workers selected (HistPNMPNDepth) — virtual-number divergence shows
+	// up here as a spread, piling onto one leaf as a spike.
+	PNNodes       int64   `json:"pn_nodes,omitempty"`
+	PNExpands     int64   `json:"pn_expands,omitempty"`
+	PNUpdates     int64   `json:"pn_updates,omitempty"`
+	PNMPNDepthP50 float64 `json:"pn_mpn_depth_p50,omitempty"`
+	PNMPNDepthP95 float64 `json:"pn_mpn_depth_p95,omitempty"`
+	PNMPNDepthMax int64   `json:"pn_mpn_depth_max,omitempty"`
 }
 
 // Report derives the condensed metrics from a snapshot.
@@ -581,6 +614,14 @@ func (s Snapshot) Report() Report {
 		rep.ShardRPCP50Us = rpc.P50() / 1e3
 		rep.ShardRPCP99Us = rpc.P99() / 1e3
 		rep.ShardRPCMaxUs = float64(rpc.Max) / 1e3
+	}
+	rep.PNNodes = t.PNNodes
+	rep.PNExpands = t.PNExpands
+	rep.PNUpdates = t.PNUpdates
+	if mpn := s.Hist[HistPNMPNDepth]; mpn.Count > 0 {
+		rep.PNMPNDepthP50 = mpn.P50()
+		rep.PNMPNDepthP95 = mpn.P95()
+		rep.PNMPNDepthMax = mpn.Max
 	}
 	return rep
 }
